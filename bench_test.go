@@ -1,0 +1,173 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each regenerates the artifact's data in quick mode), plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment numbers these benches print are quick-mode
+// approximations; use `go run ./cmd/ltrf-experiments -all` for the full-
+// budget runs recorded in EXPERIMENTS.md.
+package ltrf_test
+
+import (
+	"testing"
+
+	"ltrf"
+)
+
+// benchOpts keeps benchmark iterations affordable: quick budgets on a
+// representative workload pair (one register-sensitive, one insensitive).
+var benchOpts = ltrf.ExperimentOptions{Quick: true, Workloads: []string{"btree", "sgemm"}}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := ltrf.RunExperiment(id, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (register capacity to maximize TLP).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2 (register file design points).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable4 regenerates Table 4 (register-interval lengths).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFigure2 regenerates Figure 2 (on-chip memory across generations).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates Figure 3 (ideal vs real TFET 8x RF).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkFigure4 regenerates Figure 4 (register cache hit rates).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure9 regenerates Figure 9 (IPC on configs #6 and #7).
+func BenchmarkFigure9(b *testing.B) { benchExperiment(b, "figure9") }
+
+// BenchmarkFigure10 regenerates Figure 10 (register file power, config #7).
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+// BenchmarkFigure11 regenerates Figure 11 (max tolerable RF latency).
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+
+// BenchmarkFigure12 regenerates Figure 12 (registers per interval sweep).
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+
+// BenchmarkFigure13 regenerates Figure 13 (active warp count sweep).
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "figure13") }
+
+// BenchmarkFigure14 regenerates Figure 14 (LTRF vs SW register caching).
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "figure14") }
+
+// BenchmarkOverheads regenerates the §4.3 overhead analysis.
+func BenchmarkOverheads(b *testing.B) { benchExperiment(b, "overheads") }
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+func benchSim(b *testing.B, o ltrf.SimOptions, workload string) {
+	b.Helper()
+	w, err := ltrf.WorkloadByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := w.Build(3)
+	o.MaxInstrs = 15000
+	var lastIPC float64
+	for i := 0; i < b.N; i++ {
+		res, err := ltrf.Simulate(o, kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastIPC = res.IPC
+	}
+	b.ReportMetric(lastIPC, "IPC")
+}
+
+// BenchmarkAblationCrossbarNarrow measures LTRF with the paper's 4x-narrow
+// prefetch crossbar (§4.2) at a 6.3x-slow main RF.
+func BenchmarkAblationCrossbarNarrow(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3}, "sgemm")
+}
+
+// BenchmarkAblationSchedulerTwoLevel measures LTRF under the default
+// two-level scheduler.
+func BenchmarkAblationSchedulerTwoLevel(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3, ActiveWarps: 8}, "stencil")
+}
+
+// BenchmarkAblationIntervalBudget8/16/32 expose the Figure 12 knob.
+func BenchmarkAblationIntervalBudget8(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3, IntervalRegs: 8}, "sgemm")
+}
+func BenchmarkAblationIntervalBudget16(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3, IntervalRegs: 16}, "sgemm")
+}
+func BenchmarkAblationIntervalBudget32(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3, IntervalRegs: 32}, "sgemm")
+}
+
+// BenchmarkAblationStrandPrefetch measures the §6.6 strand-granularity
+// ablation of LTRF.
+func BenchmarkAblationStrandPrefetch(b *testing.B) {
+	benchSim(b, ltrf.SimOptions{Design: ltrf.LTRFStrand, LatencyX: 6.3}, "sgemm")
+}
+
+// BenchmarkDesigns measures every register-file design on one kernel at the
+// DWM latency point — the core comparison of the paper in microbenchmark
+// form.
+func BenchmarkDesigns(b *testing.B) {
+	for _, d := range []struct {
+		name   string
+		design ltrf.Design
+	}{
+		{"BL", ltrf.BL}, {"RFC", ltrf.RFC}, {"SHRF", ltrf.SHRF},
+		{"LTRF", ltrf.LTRF}, {"LTRFPlus", ltrf.LTRFPlus}, {"Ideal", ltrf.Ideal},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			benchSim(b, ltrf.SimOptions{Design: d.design, LatencyX: 6.3}, "stencil")
+		})
+	}
+}
+
+// BenchmarkCompile measures the compiler pipeline (allocation + interval
+// formation + strand formation + instrumentation) on the largest kernel.
+func BenchmarkCompile(b *testing.B) {
+	w, err := ltrf.WorkloadByName("sgemm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := w.Build(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ltrf.Compile(kernel, ltrf.CompileOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed in dynamic
+// instructions per second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := ltrf.WorkloadByName("hotspot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := w.Build(3)
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2, MaxInstrs: 30000}, kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}

@@ -1,0 +1,61 @@
+// Command ltrf-experiments regenerates the tables and figures of the LTRF
+// paper's evaluation.
+//
+// Usage:
+//
+//	ltrf-experiments -list
+//	ltrf-experiments -run figure9
+//	ltrf-experiments -all [-quick] [-workloads sgemm,stencil,btree]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ltrf"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "run one experiment by id (e.g. figure9)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
+		subset = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
+	)
+	flag.Parse()
+
+	o := ltrf.ExperimentOptions{Quick: *quick}
+	if *subset != "" {
+		o.Workloads = strings.Split(*subset, ",")
+	}
+
+	switch {
+	case *list:
+		for _, s := range ltrf.Experiments() {
+			fmt.Printf("%-10s %s\n", s.ID, s.Title)
+		}
+	case *run != "":
+		start := time.Now()
+		t, err := ltrf.RunExperiment(*run, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			os.Exit(1)
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+	case *all:
+		start := time.Now()
+		if err := ltrf.RunAllExperiments(os.Stdout, o); err != nil {
+			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(total %s)\n", time.Since(start).Round(time.Millisecond))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

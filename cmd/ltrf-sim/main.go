@@ -1,0 +1,89 @@
+// Command ltrf-sim runs one workload on the simulated GPU under a chosen
+// register-file design and prints the outcome.
+//
+// Usage:
+//
+//	ltrf-sim -workload sgemm -design LTRF -latency 6.3
+//	ltrf-sim -workload btree -design RFC -tech 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ltrf"
+)
+
+var designs = map[string]ltrf.Design{
+	"BL":         ltrf.BL,
+	"RFC":        ltrf.RFC,
+	"SHRF":       ltrf.SHRF,
+	"LTRF":       ltrf.LTRF,
+	"LTRF+":      ltrf.LTRFPlus,
+	"LTRFSTRAND": ltrf.LTRFStrand,
+	"IDEAL":      ltrf.Ideal,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "sgemm", "workload name (see -list)")
+		design   = flag.String("design", "LTRF", "BL | RFC | SHRF | LTRF | LTRF+ | LTRFstrand | Ideal")
+		tech     = flag.Int("tech", 1, "Table 2 main register file config (1..7)")
+		latency  = flag.Float64("latency", 1.0, "main RF latency multiplier")
+		warps    = flag.Int("active", 0, "active warps (0 = Table 3 default of 8)")
+		n        = flag.Int("n", 0, "registers per register-interval (0 = default 16)")
+		instrs   = flag.Int64("instrs", 0, "dynamic instruction budget (0 = default)")
+		list     = flag.Bool("list", false, "list workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range ltrf.Workloads() {
+			class := "insensitive"
+			if w.Sensitive {
+				class = "sensitive"
+			}
+			eval := ""
+			if w.Eval {
+				eval = " [eval]"
+			}
+			fmt.Printf("%-14s %-9s %s%s\n", w.Name, w.Suite, class, eval)
+		}
+		return
+	}
+
+	d, ok := designs[strings.ToUpper(*design)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ltrf-sim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	w, err := ltrf.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
+		os.Exit(2)
+	}
+	res, err := ltrf.Simulate(ltrf.SimOptions{
+		Design: d, TechConfig: *tech, LatencyX: *latency,
+		ActiveWarps: *warps, IntervalRegs: *n, MaxInstrs: *instrs,
+	}, w.Build(3))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s (%s)\n", w.Name, w.Suite)
+	fmt.Printf("design          %s, tech #%d, latency %.2fx\n", res.Design, *tech, *latency)
+	fmt.Printf("warps           %d resident (%d regs/thread, demand %d, spilled %d)\n",
+		res.Warps, res.RegsPerThread, res.Demand, res.SpilledRegs)
+	fmt.Printf("IPC             %.3f (%d instrs / %d cycles)\n", res.IPC, res.Instrs, res.Cycles)
+	fmt.Printf("prefetch        %d ops, %d regs, %d stall cycles, %d units\n",
+		res.RF.Prefetches, res.RF.PrefetchRegs, res.PrefetchStallCycles, res.PrefetchUnits)
+	fmt.Printf("main RF         %d reads, %d writes\n", res.RF.MainReads, res.RF.MainWrites)
+	fmt.Printf("cache           %.1f%% read hit rate, %d writebacks\n",
+		100*res.RF.ReadHitRate(), res.RF.WritebackRegs)
+	fmt.Printf("scheduler       %d activations, %d deactivations\n", res.Activations, res.Deactivations)
+	fmt.Printf("memory          L1 %.1f%%, L2 %.1f%%, DRAM row hit %.1f%%\n",
+		100*res.Mem.L1HitRate, 100*res.Mem.L2HitRate, 100*res.Mem.DRAMRowHit)
+}

@@ -1,0 +1,54 @@
+// Capacity planning: the paper's Table 1 analysis as a library workflow —
+// how much register file capacity each workload needs for maximum TLP, and
+// what occupancy a 256KB Maxwell-like register file actually allows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ltrf"
+)
+
+func main() {
+	type row struct {
+		name   string
+		demand int
+		needKB int
+		warps  int
+		class  string
+	}
+	var rows []row
+	for _, w := range ltrf.Workloads() {
+		c, err := ltrf.Compile(w.Build(3), ltrf.CompileOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		demand := c.Demand
+		if demand > 256 {
+			demand = 256
+		}
+		// Bytes for 64 warps at this per-thread register count.
+		needKB := demand * 64 * 32 * 4 / 1024
+		warps := 256 * 1024 / (demand * 32 * 4)
+		if warps > 64 {
+			warps = 64
+		}
+		class := "insensitive"
+		if w.Sensitive {
+			class = "sensitive"
+		}
+		rows = append(rows, row{w.Name, demand, needKB, warps, class})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].needKB > rows[j].needKB })
+
+	fmt.Println("register file capacity needed for 64-warp occupancy (Maxwell-era compiler)")
+	fmt.Printf("%-14s %6s %9s %17s  %s\n", "workload", "regs", "needs", "warps @256KB", "class")
+	for _, r := range rows {
+		fmt.Printf("%-14s %6d %8dK %17d  %s\n", r.name, r.demand, r.needKB, r.warps, r.class)
+	}
+	fmt.Println("\nworkloads needing >256KB are the paper's register-sensitive set: an 8x")
+	fmt.Println("register file (Table 2 configs #6/#7) restores their occupancy — if the")
+	fmt.Println("added latency is hidden, which is what LTRF is for.")
+}

@@ -1,0 +1,46 @@
+// Interval analysis: reproduce the paper's Figure 6 walkthrough — a nested
+// loop whose inner loop becomes its own register-interval in pass 1 and is
+// merged into the outer loop's interval by pass 2 — and contrast the result
+// with strand formation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltrf"
+)
+
+func main() {
+	// Figure 6's CFG: block A (outer loop) containing blocks B,C (inner
+	// loop).
+	b := ltrf.NewKernel("figure6")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 0)
+	b.Loop(3, func() { // A
+		b.IAdd(r[1], r[0], r[0])
+		b.Loop(4, func() { // B, C
+			b.IMul(r[2], r[1], r[1])
+			b.IAdd(r[3], r[2], r[0])
+		})
+	})
+	kernel := b.MustBuild()
+	fmt.Print(kernel.String())
+
+	for _, n := range []int{16, 4} {
+		c, err := ltrf.Compile(kernel, ltrf.CompileOptions{IntervalRegs: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nN = %d registers per interval:\n", n)
+		fmt.Printf("  register-intervals: %d\n", c.Intervals.NumUnits())
+		for _, u := range c.Intervals.Units {
+			fmt.Printf("    %v  working set %v\n", u, u.WorkingSet)
+		}
+		fmt.Printf("  strands: %d (strands end at every backward branch)\n", c.Strands.NumUnits())
+	}
+
+	fmt.Println("\nWith an ample budget the whole nested loop reduces to ONE register-")
+	fmt.Println("interval (one PREFETCH per kernel); with a tight budget the loops split,")
+	fmt.Println("which is exactly the degradation Figure 12's 8-register curve shows.")
+}

@@ -1,0 +1,63 @@
+// Latency sweep: regenerate the shape of the paper's Figure 14 for one
+// workload — normalized IPC of the competing register-file designs as the
+// main register file slows from 1x to 8x.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ltrf"
+)
+
+func main() {
+	name := "sgemm"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := ltrf.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := w.Build(3)
+
+	designs := []struct {
+		label string
+		d     ltrf.Design
+	}{
+		{"BL", ltrf.BL},
+		{"RFC", ltrf.RFC},
+		{"SHRF", ltrf.SHRF},
+		{"LTRF(strand)", ltrf.LTRFStrand},
+		{"LTRF", ltrf.LTRF},
+		{"LTRF+", ltrf.LTRFPlus},
+	}
+	grid := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+
+	fmt.Printf("workload %s: normalized IPC vs main RF latency\n\n", name)
+	fmt.Printf("%-13s", "design")
+	for _, x := range grid {
+		fmt.Printf("  %4.0fx", x)
+	}
+	fmt.Println()
+	for _, ds := range designs {
+		fmt.Printf("%-13s", ds.label)
+		var base float64
+		for i, x := range grid {
+			res, err := ltrf.Simulate(ltrf.SimOptions{
+				Design: ds.d, LatencyX: x, MaxInstrs: 40000,
+			}, kernel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = res.IPC
+			}
+			fmt.Printf("  %.2f", res.IPC/base)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nLTRF with register-intervals stays near 1.0 across the sweep —")
+	fmt.Println("the latency tolerance that lets the paper adopt 8x-capacity DWM/TFET files.")
+}

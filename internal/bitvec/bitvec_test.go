@@ -1,0 +1,205 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndTest(t *testing.T) {
+	v := New(0, 5, 63, 64, 255)
+	for _, i := range []int{0, 5, 63, 64, 255} {
+		if !v.Test(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	for _, i := range []int{1, 4, 62, 65, 254} {
+		if v.Test(i) {
+			t.Errorf("bit %d should be clear", i)
+		}
+	}
+}
+
+func TestSetClear(t *testing.T) {
+	var v Vector
+	v.Set(100)
+	if !v.Test(100) {
+		t.Fatal("Set(100) did not set bit")
+	}
+	v.Clear(100)
+	if v.Test(100) {
+		t.Fatal("Clear(100) did not clear bit")
+	}
+	if !v.IsEmpty() {
+		t.Fatal("vector should be empty after clearing only bit")
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		bits []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{0, 0, 0}, 1}, // duplicates collapse
+		{[]int{0, 1, 2, 3, 4, 5, 6, 7}, 8},
+		{[]int{63, 64, 127, 128, 191, 192, 255}, 7},
+	}
+	for _, c := range cases {
+		if got := New(c.bits...).Count(); got != c.want {
+			t.Errorf("Count(%v) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	a := New(1, 2, 3, 200)
+	b := New(3, 4, 200, 201)
+
+	if got, want := a.Union(b), New(1, 2, 3, 4, 200, 201); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), New(3, 200); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Diff(b), New(1, 2); got != want {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+}
+
+func TestContainsOverlaps(t *testing.T) {
+	a := New(1, 2, 3)
+	if !a.Contains(New(1, 3)) {
+		t.Error("a should contain {1,3}")
+	}
+	if a.Contains(New(1, 4)) {
+		t.Error("a should not contain {1,4}")
+	}
+	if !a.Contains(Vector{}) {
+		t.Error("every vector contains the empty vector")
+	}
+	if !a.Overlaps(New(3, 9)) {
+		t.Error("a should overlap {3,9}")
+	}
+	if a.Overlaps(New(9, 10)) {
+		t.Error("a should not overlap {9,10}")
+	}
+	if a.Overlaps(Vector{}) {
+		t.Error("nothing overlaps the empty vector")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	in := []int{0, 7, 42, 63, 64, 100, 255}
+	v := New(in...)
+	got := v.Bits()
+	if len(got) != len(in) {
+		t.Fatalf("Bits() = %v, want %v", got, in)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("Bits()[%d] = %d, want %d", i, got[i], in[i])
+		}
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	v := New(200, 3, 64)
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	want := []int{3, 64, 200}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 5).String(); got != "{1, 5}" {
+		t.Errorf("String() = %q, want %q", got, "{1, 5}")
+	}
+	if got := (Vector{}).String(); got != "{}" {
+		t.Errorf("empty String() = %q, want %q", got, "{}")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, Bits, Bits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Test(%d) should panic", i)
+				}
+			}()
+			var v Vector
+			v.Test(i)
+		}()
+	}
+}
+
+// Property: union is commutative, associative, and idempotent; De Morgan-ish
+// relations between Diff/Intersect hold.
+func TestQuickAlgebra(t *testing.T) {
+	f := func(a, b, c Vector) bool {
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(a) != a {
+			return false
+		}
+		if a.Union(b.Union(c)) != a.Union(b).Union(c) {
+			return false
+		}
+		// a = (a∩b) ∪ (a∖b)
+		if a.Intersect(b).Union(a.Diff(b)) != a {
+			return false
+		}
+		// (a∖b) ∩ b = ∅
+		if !a.Diff(b).Intersect(b).IsEmpty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count(a ∪ b) + Count(a ∩ b) == Count(a) + Count(b).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(a, b Vector) bool {
+		return a.Union(b).Count()+a.Intersect(b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains is consistent with Union (a ⊇ b ⇔ a∪b == a).
+func TestQuickContainsUnion(t *testing.T) {
+	f := func(a, b Vector) bool {
+		return a.Contains(b) == (a.Union(b) == a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := New(1, 64, 130, 255)
+	y := New(2, 65, 131, 254)
+	for i := 0; i < b.N; i++ {
+		x = x.Union(y)
+	}
+	_ = x
+}
+
+func BenchmarkCount(b *testing.B) {
+	x := New(1, 64, 130, 255)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Count()
+	}
+	_ = n
+}

@@ -1,0 +1,93 @@
+package cfg
+
+// Dominators holds the immediate-dominator tree of a Graph, computed with
+// the Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+type Dominators struct {
+	graph *Graph
+	idom  []int // block ID -> immediate dominator block ID; entry maps to itself; -1 unreachable
+	rpo   []int // block ID -> reverse-postorder number (-1 unreachable)
+}
+
+// ComputeDominators computes the dominator tree of g.
+func ComputeDominators(g *Graph) *Dominators {
+	order := g.ReversePostorder()
+	d := &Dominators{
+		graph: g,
+		idom:  make([]int, len(g.Blocks)),
+		rpo:   make([]int, len(g.Blocks)),
+	}
+	for i := range d.idom {
+		d.idom[i] = -1
+		d.rpo[i] = -1
+	}
+	for i, b := range order {
+		d.rpo[b.ID] = i
+	}
+	d.idom[g.Entry.ID] = g.Entry.ID
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range b.Preds {
+				if d.idom[p.ID] == -1 {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p.ID
+				} else {
+					newIdom = d.intersect(p.ID, newIdom)
+				}
+			}
+			if newIdom != -1 && d.idom[b.ID] != newIdom {
+				d.idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b int) int {
+	for a != b {
+		for d.rpo[a] > d.rpo[b] {
+			a = d.idom[a]
+		}
+		for d.rpo[b] > d.rpo[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b, or nil for the entry block and
+// unreachable blocks.
+func (d *Dominators) Idom(b *Block) *Block {
+	id := d.idom[b.ID]
+	if id == -1 || id == b.ID {
+		return nil
+	}
+	return d.graph.Blocks[id]
+}
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself).
+func (d *Dominators) Dominates(a, b *Block) bool {
+	if d.idom[b.ID] == -1 {
+		return false // b unreachable
+	}
+	for {
+		if a.ID == b.ID {
+			return true
+		}
+		next := d.idom[b.ID]
+		if next == b.ID { // reached entry
+			return a.ID == b.ID
+		}
+		b = d.graph.Blocks[next]
+	}
+}

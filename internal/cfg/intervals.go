@@ -1,0 +1,207 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a classic Cocke–Allen interval: a maximal single-entry
+// subgraph headed by Header. The paper's register-intervals (internal/core)
+// constrain this construction with a register-budget; this file implements
+// the unconstrained original used to identify loops and test reducibility.
+type Interval struct {
+	ID     int
+	Header *Block
+	Blocks []*Block // header first, in addition order
+}
+
+func (iv *Interval) String() string {
+	parts := make([]string, len(iv.Blocks))
+	for i, b := range iv.Blocks {
+		parts[i] = fmt.Sprintf("B%d", b.ID)
+	}
+	return fmt.Sprintf("I%d{%s}", iv.ID, strings.Join(parts, " "))
+}
+
+// Contains reports whether the interval includes block b.
+func (iv *Interval) Contains(b *Block) bool {
+	for _, m := range iv.Blocks {
+		if m == b {
+			return true
+		}
+	}
+	return false
+}
+
+// IntervalPartition computes the first-order interval partition of g:
+// every reachable block belongs to exactly one interval, and each interval
+// has a single entry point (its header).
+func IntervalPartition(g *Graph) []*Interval {
+	fg, order := graphToFlow(g)
+	part := intervalsOf(fg)
+	out := make([]*Interval, len(part))
+	for i, members := range part {
+		iv := &Interval{ID: i, Header: order[members[0]]}
+		for _, id := range members {
+			iv.Blocks = append(iv.Blocks, order[id])
+		}
+		out[i] = iv
+	}
+	return out
+}
+
+// IsReducible reports whether the limit flow graph of g (repeated interval
+// derivation) collapses to a single node — the classic reducibility test.
+// The structured-control-flow builder always produces reducible graphs
+// (paper footnote 3: "compiler infrastructures only produce reducible CFGs").
+func IsReducible(g *Graph) bool {
+	fg, _ := graphToFlow(g)
+	for {
+		part := intervalsOf(fg)
+		if len(part) == 1 {
+			return true
+		}
+		derived := deriveFlow(fg, part)
+		if len(derived.succs) == len(fg.succs) {
+			return false // no progress: irreducible
+		}
+		fg = derived
+	}
+}
+
+// flow is a minimal integer flow graph (node 0 = entry) used for interval
+// derivation without materializing Block structures at each level.
+type flow struct {
+	succs [][]int
+	preds [][]int
+}
+
+// graphToFlow remaps reachable blocks densely in reverse postorder (entry
+// first) and returns the flow graph together with the order, so flow node i
+// corresponds to order[i].
+func graphToFlow(g *Graph) (*flow, []*Block) {
+	order := g.ReversePostorder()
+	remap := make(map[int]int, len(order))
+	for i, b := range order {
+		remap[b.ID] = i
+	}
+	fg := &flow{succs: make([][]int, len(order)), preds: make([][]int, len(order))}
+	for i, b := range order {
+		for _, s := range b.Succs {
+			j, ok := remap[s.ID]
+			if !ok {
+				continue
+			}
+			fg.succs[i] = append(fg.succs[i], j)
+			fg.preds[j] = append(fg.preds[j], i)
+		}
+	}
+	if len(order) > 0 && order[0] != g.Entry {
+		panic("cfg: entry must be first in reverse postorder")
+	}
+	return fg, order
+}
+
+// intervalsOf computes the interval partition of fg. Each returned slice is
+// one interval's member list (header first) in flow-node numbering.
+func intervalsOf(fg *flow) [][]int {
+	n := len(fg.succs)
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	var worklist []int
+	inWork := make([]bool, n)
+	worklist = append(worklist, 0)
+	inWork[0] = true
+
+	var part [][]int
+	for len(worklist) > 0 {
+		h := worklist[0]
+		worklist = worklist[1:]
+		if assigned[h] != -1 {
+			continue
+		}
+		iv := len(part)
+		members := []int{h}
+		assigned[h] = iv
+
+		// Grow: repeatedly absorb nodes all of whose predecessors are
+		// inside this interval.
+		for changed := true; changed; {
+			changed = false
+			for cand := 0; cand < n; cand++ {
+				if assigned[cand] != -1 || cand == 0 {
+					continue
+				}
+				if len(fg.preds[cand]) == 0 {
+					continue
+				}
+				all := true
+				for _, p := range fg.preds[cand] {
+					if assigned[p] != iv {
+						all = false
+						break
+					}
+				}
+				if all {
+					assigned[cand] = iv
+					members = append(members, cand)
+					changed = true
+				}
+			}
+		}
+		part = append(part, members)
+
+		// New headers: unassigned nodes with a predecessor inside iv.
+		var hdrs []int
+		for cand := 0; cand < n; cand++ {
+			if assigned[cand] != -1 || inWork[cand] {
+				continue
+			}
+			for _, p := range fg.preds[cand] {
+				if assigned[p] == iv {
+					hdrs = append(hdrs, cand)
+					break
+				}
+			}
+		}
+		sort.Ints(hdrs)
+		for _, h := range hdrs {
+			worklist = append(worklist, h)
+			inWork[h] = true
+		}
+	}
+	return part
+}
+
+// deriveFlow builds the derived (second-order) flow graph whose nodes are
+// the intervals of fg.
+func deriveFlow(fg *flow, part [][]int) *flow {
+	owner := make([]int, len(fg.succs))
+	for iv, members := range part {
+		for _, m := range members {
+			owner[m] = iv
+		}
+	}
+	n := len(part)
+	derived := &flow{succs: make([][]int, n), preds: make([][]int, n)}
+	seen := make(map[[2]int]bool)
+	for from := range fg.succs {
+		for _, to := range fg.succs[from] {
+			a, b := owner[from], owner[to]
+			if a == b {
+				continue
+			}
+			key := [2]int{a, b}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			derived.succs[a] = append(derived.succs[a], b)
+			derived.preds[b] = append(derived.preds[b], a)
+		}
+	}
+	return derived
+}

@@ -1,0 +1,110 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loop describes one natural loop: the back edge Tail→Header plus the set of
+// blocks that can reach Tail without passing through Header.
+type Loop struct {
+	Header *Block
+	Tail   *Block // source of the back edge
+	Blocks map[int]*Block
+	Depth  int   // nesting depth, 1 = outermost
+	Parent *Loop // immediately enclosing loop, or nil
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool {
+	_, ok := l.Blocks[b.ID]
+	return ok
+}
+
+func (l *Loop) String() string {
+	ids := make([]int, 0, len(l.Blocks))
+	for id := range l.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("B%d", id)
+	}
+	return fmt.Sprintf("loop(header=B%d depth=%d {%s})", l.Header.ID, l.Depth, strings.Join(parts, " "))
+}
+
+// FindLoops returns the natural loops of g, outermost first. Loops sharing a
+// header are merged (standard natural-loop construction).
+func FindLoops(g *Graph, dom *Dominators) []*Loop {
+	byHeader := map[int]*Loop{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) { // back edge b -> s
+				l, ok := byHeader[s.ID]
+				if !ok {
+					l = &Loop{Header: s, Tail: b, Blocks: map[int]*Block{s.ID: s}}
+					byHeader[s.ID] = l
+				}
+				collectNaturalLoop(l, b)
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	// Order by size descending so parents precede children, then set
+	// nesting depth by containment.
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) > len(loops[j].Blocks)
+		}
+		return loops[i].Header.ID < loops[j].Header.ID
+	})
+	for i, l := range loops {
+		l.Depth = 1
+		for j := i - 1; j >= 0; j-- {
+			outer := loops[j]
+			if outer != l && outer.Contains(l.Header) && len(outer.Blocks) > len(l.Blocks) {
+				l.Parent = outer
+				l.Depth = outer.Depth + 1
+				break
+			}
+		}
+	}
+	return loops
+}
+
+// collectNaturalLoop adds to l all blocks that reach tail without passing
+// through the header (backward reachability from the back-edge source).
+func collectNaturalLoop(l *Loop, tail *Block) {
+	var stack []*Block
+	push := func(b *Block) {
+		if _, ok := l.Blocks[b.ID]; !ok {
+			l.Blocks[b.ID] = b
+			stack = append(stack, b)
+		}
+	}
+	push(tail)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			push(p)
+		}
+	}
+}
+
+// MaxLoopDepth returns the deepest nesting level among the loops.
+func MaxLoopDepth(loops []*Loop) int {
+	max := 0
+	for _, l := range loops {
+		if l.Depth > max {
+			max = l.Depth
+		}
+	}
+	return max
+}

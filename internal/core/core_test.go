@@ -1,0 +1,393 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltrf/internal/isa"
+)
+
+func straightLine(t testing.TB, nRegs int) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("straight")
+	r := b.RegN(nRegs)
+	for i := 0; i < nRegs; i++ {
+		b.IMovImm(r[i], int64(i))
+	}
+	for i := 1; i < nRegs; i++ {
+		b.IAdd(r[i], r[i-1], r[i])
+	}
+	return b.MustBuild()
+}
+
+// figure6 reproduces the paper's Figure 6 CFG: a nested loop where the
+// inner loop (B,C) forms its own pass-1 interval that pass 2 merges into
+// the outer loop's interval.
+func figure6(t testing.TB) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("figure6")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 0)
+	b.Loop(3, func() { // block A (outer loop header/body)
+		b.IAdd(r[1], r[0], r[0])
+		b.Loop(4, func() { // blocks B,C (inner loop)
+			b.IMul(r[2], r[1], r[1])
+			b.IAdd(r[3], r[2], r[0])
+		})
+	})
+	return b.MustBuild()
+}
+
+func TestSingleIntervalWhenBudgetSuffices(t *testing.T) {
+	p := straightLine(t, 6)
+	part, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumUnits() != 1 {
+		t.Fatalf("want 1 interval for small straight-line kernel, got %d: %v", part.NumUnits(), part.Units)
+	}
+	u := part.Units[0]
+	if u.WorkingSet.Count() != 6 {
+		t.Errorf("working set = %d, want 6", u.WorkingSet.Count())
+	}
+	if u.Entry != 0 {
+		t.Errorf("entry = %d, want 0", u.Entry)
+	}
+}
+
+func TestBudgetOverflowSplitsStraightLine(t *testing.T) {
+	p := straightLine(t, 24)
+	part, err := FormRegisterIntervals(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumUnits() < 3 {
+		t.Fatalf("24 registers under budget 8 need at least 3 intervals, got %d", part.NumUnits())
+	}
+	for _, u := range part.Units {
+		if u.WorkingSet.Count() > 8 {
+			t.Errorf("%v exceeds budget", u)
+		}
+	}
+}
+
+func TestFigure6NestedLoopMergesToOneInterval(t *testing.T) {
+	p := figure6(t)
+	part, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole nested loop uses ~6 registers, well within budget 16:
+	// pass 2 must reduce everything into a single register-interval,
+	// exactly the Figure 6 outcome.
+	if part.NumUnits() != 1 {
+		t.Fatalf("Figure 6 with ample budget should reduce to 1 interval, got %d: %v", part.NumUnits(), part.Units)
+	}
+}
+
+func TestFigure6TightBudgetKeepsLoopsSeparate(t *testing.T) {
+	p := figure6(t)
+	// Count registers used by the whole kernel.
+	regs := p.RegCount()
+	if regs < 6 {
+		t.Skipf("kernel uses only %d registers", regs)
+	}
+	part, err := FormRegisterIntervals(p, MinBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumUnits() < 2 {
+		t.Fatalf("tight budget must split the nested loop, got %d units", part.NumUnits())
+	}
+}
+
+func TestLoopPrefetchedOncePerEntry(t *testing.T) {
+	// A loop fitting in one interval has its backedge internal to the
+	// unit: the PREFETCH happens once per loop entry, not per iteration
+	// ("our mechanism aims to fit a loop within a single register-interval").
+	b := isa.NewBuilder("loop")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 0)
+	b.Loop(10, func() { b.IAdd(r[1], r[0], r[2]) })
+	p := b.MustBuild()
+	part, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the backward branch; its source and target must be in the
+	// same unit.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == isa.OpBraCond && in.Target < i {
+			if part.UnitID(i) != part.UnitID(in.Target) {
+				t.Errorf("backedge %d->%d crosses units %d->%d", i, in.Target, part.UnitID(i), part.UnitID(in.Target))
+			}
+		}
+	}
+}
+
+func TestCallBecomesSeparateInterval(t *testing.T) {
+	b := isa.NewBuilder("call")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 1)
+	b.Call(func() { b.IAddImm(r[1], r[0], 3) })
+	b.IAdd(r[2], r[1], r[0])
+	p := b.MustBuild()
+	part, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// prologue | call body | continuation = at least 3 units even though
+	// the registers all fit one budget.
+	if part.NumUnits() < 3 {
+		t.Fatalf("call must split intervals, got %d units: %v", part.NumUnits(), part.Units)
+	}
+}
+
+func TestStrandsTerminateAtLongLatencyOps(t *testing.T) {
+	b := isa.NewBuilder("mem")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 0)
+	b.LdGlobal(r[1], r[0], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 20})
+	b.IAdd(r[2], r[1], r[0])
+	b.LdGlobal(r[3], r[2], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20})
+	b.IAdd(r[2], r[3], r[1])
+	p := b.MustBuild()
+
+	strands, err := FormStrands(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ld at index 1 closes strand 0; ld at index 3 closes strand 1;
+	// remainder strand 2. (exit included somewhere).
+	if strands.NumUnits() < 3 {
+		t.Fatalf("expected >=3 strands around the two loads, got %d: %v", strands.NumUnits(), strands.Units)
+	}
+	// First strand must end exactly after the first load.
+	u0 := strands.UnitOf(1)
+	end := u0.Ranges[len(u0.Ranges)-1][1]
+	if end != 2 {
+		t.Errorf("strand containing load should end after it (at 2), ends at %d", end)
+	}
+}
+
+func TestStrandsNeverCrossBlocks(t *testing.T) {
+	p := figure6(t)
+	strands, err := FormStrands(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range strands.Units {
+		if len(u.Ranges) != 1 {
+			t.Errorf("%v: strands must be single contiguous ranges", u)
+		}
+	}
+	// Backedges must cross strand boundaries (backward branches are
+	// disallowed inside strands).
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == isa.OpBraCond && in.Target < i {
+			if strands.UnitID(i) == strands.UnitID(in.Target) {
+				t.Errorf("backedge %d->%d inside one strand", i, in.Target)
+			}
+		}
+	}
+}
+
+func TestIntervalsCoarserThanStrands(t *testing.T) {
+	// The key claim of §6.6: register-intervals are larger prefetch
+	// subgraphs than strands, so there are fewer of them.
+	p := figure6(t)
+	ivls, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strands, err := FormStrands(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivls.NumUnits() >= strands.NumUnits() {
+		t.Errorf("intervals (%d) should be fewer than strands (%d)", ivls.NumUnits(), strands.NumUnits())
+	}
+}
+
+func TestInstrumentProgram(t *testing.T) {
+	p := figure6(t)
+	part, err := FormRegisterIntervals(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := InstrumentProgram(part)
+	nPrefetch := 0
+	for i := range inst.Instrs {
+		if inst.Instrs[i].Op == isa.OpPrefetch {
+			nPrefetch++
+			if inst.Instrs[i].PF == nil {
+				t.Fatalf("prefetch %d missing bit-vector", i)
+			}
+		}
+	}
+	if nPrefetch != part.NumUnits() {
+		t.Errorf("prefetch count %d != unit count %d", nPrefetch, part.NumUnits())
+	}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("instrumented program invalid: %v", err)
+	}
+	// Instruction count grows by exactly the number of prefetches.
+	if len(inst.Instrs) != len(p.Instrs)+nPrefetch {
+		t.Errorf("instrumented length %d, want %d", len(inst.Instrs), len(p.Instrs)+nPrefetch)
+	}
+}
+
+func TestCodeSizeOverheadOrdering(t *testing.T) {
+	p := figure6(t)
+	part, err := FormRegisterIntervals(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, exp := CodeSizeOverhead(part)
+	if emb <= 0 || exp <= 0 {
+		t.Fatalf("overheads must be positive: %v %v", emb, exp)
+	}
+	if emb >= exp {
+		t.Errorf("embedded encoding (%v) must cost less than explicit (%v)", emb, exp)
+	}
+}
+
+func TestBudgetTooSmallRejected(t *testing.T) {
+	p := straightLine(t, 4)
+	if _, err := FormRegisterIntervals(p, 2); err == nil {
+		t.Error("budget below MinBudget must be rejected")
+	}
+	if _, err := FormStrands(p, 2); err == nil {
+		t.Error("strand budget below MinBudget must be rejected")
+	}
+}
+
+func TestVirtualProgramRejected(t *testing.T) {
+	b := isa.NewBuilder("virt")
+	regs := b.RegN(300) // beyond architectural space
+	b.IMovImm(regs[299], 1)
+	p := b.MustBuild()
+	if _, err := FormRegisterIntervals(p, 16); err == nil {
+		t.Error("non-allocated program must be rejected")
+	}
+}
+
+// buildRandomKernel builds a structured kernel from fuzz bytes; shared by the
+// property tests below.
+func buildRandomKernel(shape []uint8) *isa.Program {
+	b := isa.NewBuilder("q")
+	r := b.RegN(10)
+	for i := range r {
+		b.IMovImm(r[i], int64(i))
+	}
+	for i, s := range shape {
+		if i > 9 {
+			break
+		}
+		switch s % 5 {
+		case 0:
+			b.Loop(int(s%4)+1, func() {
+				b.IAdd(r[1], r[0], r[2])
+				b.IMul(r[3], r[4], r[5])
+			})
+		case 1:
+			b.SetPImm(r[6], r[0], 1)
+			b.If(r[6], 0.5, func() { b.IAdd(r[7], r[8], r[9]) })
+		case 2:
+			b.SetPImm(r[6], r[3], 2)
+			b.IfElse(r[6], 0.5,
+				func() { b.IMov(r[0], r[1]) },
+				func() { b.Loop(2, func() { b.IMov(r[1], r[0]) }) })
+		case 3:
+			b.LdGlobal(r[2], r[0], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16})
+		case 4:
+			b.Call(func() { b.IAddImm(r[4], r[4], 1) })
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: both schemes always produce valid partitions (full coverage,
+// budget respected, working sets correct) on random structured kernels.
+func TestQuickPartitionsAlwaysValid(t *testing.T) {
+	f := func(shape []uint8, nRaw uint8) bool {
+		n := int(nRaw)%28 + MinBudget // budget in [4, 31]
+		p := buildRandomKernel(shape)
+		if p.RegCount() > isa.MaxArchRegs {
+			return true // not a valid input for partitioning
+		}
+		ivls, err := FormRegisterIntervals(p, n)
+		if err != nil {
+			return false
+		}
+		strands, err := FormStrands(p, n)
+		if err != nil {
+			return false
+		}
+		// Validate is called inside finishPartition; re-check anyway.
+		return ivls.Validate() == nil && strands.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: register-intervals are never more numerous than strands at the
+// same budget (they are strictly coarser subgraphs).
+func TestQuickIntervalsNeverFinerThanStrands(t *testing.T) {
+	f := func(shape []uint8) bool {
+		p := buildRandomKernel(shape)
+		ivls, err := FormRegisterIntervals(p, 16)
+		if err != nil {
+			return false
+		}
+		strands, err := FormStrands(p, 16)
+		if err != nil {
+			return false
+		}
+		return ivls.NumUnits() <= strands.NumUnits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a larger budget never increases the number of register-intervals.
+func TestQuickBudgetMonotonic(t *testing.T) {
+	f := func(shape []uint8) bool {
+		p := buildRandomKernel(shape)
+		small, err := FormRegisterIntervals(p, 8)
+		if err != nil {
+			return false
+		}
+		large, err := FormRegisterIntervals(p, 32)
+		if err != nil {
+			return false
+		}
+		return large.NumUnits() <= small.NumUnits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	p := figure6(t)
+	part, err := FormRegisterIntervals(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := part.Summary()
+	if st.Units != part.NumUnits() {
+		t.Errorf("Units = %d, want %d", st.Units, part.NumUnits())
+	}
+	if st.MeanStatic <= 0 || st.MeanWorkingSet <= 0 {
+		t.Errorf("means must be positive: %+v", st)
+	}
+	if st.MaxWorkingSet > 16 {
+		t.Errorf("MaxWorkingSet %d exceeds budget", st.MaxWorkingSet)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"ltrf/internal/isa"
+)
+
+// InstrumentProgram materializes the PREFETCH operations of a partition as
+// OpPrefetch pseudo-instructions inserted at every unit entry, returning a
+// new program with branch targets fixed up. The simulator does not need this
+// form (it consults the Partition side table); it exists to account for the
+// code-size overhead of §4.3 and to make compiled kernels inspectable with
+// the ltrf-compile tool.
+func InstrumentProgram(p *Partition) *isa.Program {
+	prog := p.Prog
+	isEntry := make([]bool, len(prog.Instrs))
+	wsAt := make([]int, len(prog.Instrs))
+	for i, u := range p.Units {
+		isEntry[u.Entry] = true
+		wsAt[u.Entry] = i
+	}
+
+	out := &isa.Program{Name: prog.Name + "+prefetch"}
+	firstNew := make([]int, len(prog.Instrs))
+	for idx := range prog.Instrs {
+		firstNew[idx] = len(out.Instrs)
+		if isEntry[idx] {
+			ws := p.Units[wsAt[idx]].WorkingSet
+			out.Instrs = append(out.Instrs, isa.Instr{
+				Op:  isa.OpPrefetch,
+				Dst: isa.RegNone,
+				Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+				PF:  &ws,
+			})
+		}
+		out.Instrs = append(out.Instrs, prog.Instrs[idx])
+	}
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		if in.Op == isa.OpBra || in.Op == isa.OpBraCond {
+			in.Target = firstNew[in.Target]
+		}
+	}
+	return out
+}
+
+// CodeSizeOverhead returns the fractional static code-size increase caused
+// by PREFETCH insertion under the two encodings of §3.2/§4.3: embedded
+// marker bit (bit-vector only) and explicit prefetch instruction.
+func CodeSizeOverhead(p *Partition) (embedded, explicit float64) {
+	base := p.Prog.StaticCodeBytes(false)
+	inst := InstrumentProgram(p)
+	emb := inst.StaticCodeBytes(false)
+	exp := inst.StaticCodeBytes(true)
+	return float64(emb-base) / float64(base), float64(exp-base) / float64(base)
+}

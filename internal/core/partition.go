@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: partitioning a
+// kernel's control-flow graph into prefetch subgraphs and planning PREFETCH
+// operations for them.
+//
+// Two partition schemes are provided:
+//
+//   - Register-intervals (§3.3, Algorithms 1 and 2): single-entry subgraphs
+//     whose register working-set fits the per-warp register-file-cache
+//     partition. Backward branches and loops are allowed inside.
+//   - Strands (Gebhart et al. [20], evaluated in §6.6): more constrained
+//     subgraphs terminated by long-latency operations and any control flow,
+//     used by the SHRF baseline and the LTRF-strand ablation.
+//
+// Both produce a Partition: an assignment of every instruction to exactly
+// one prefetch Unit with a bounded register working-set, which the simulator
+// (internal/sim) consumes to trigger PREFETCH operations at unit entries.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+// Unit is one prefetch subgraph: a register-interval or a strand.
+type Unit struct {
+	ID int
+
+	// Entry is the instruction index where the unit is entered and where
+	// the PREFETCH operation is logically placed.
+	Entry int
+
+	// WorkingSet is the PREFETCH bit-vector: every register that might be
+	// accessed while execution remains inside the unit.
+	WorkingSet bitvec.Vector
+
+	// Ranges lists the instruction ranges [start, end) belonging to the
+	// unit, sorted by start.
+	Ranges [][2]int
+
+	// Succs lists IDs of units reachable by leaving this unit.
+	Succs []int
+}
+
+// NumInstrs returns the number of static instructions in the unit.
+func (u *Unit) NumInstrs() int {
+	n := 0
+	for _, r := range u.Ranges {
+		n += r[1] - r[0]
+	}
+	return n
+}
+
+func (u *Unit) String() string {
+	parts := make([]string, len(u.Ranges))
+	for i, r := range u.Ranges {
+		parts[i] = fmt.Sprintf("[%d,%d)", r[0], r[1])
+	}
+	return fmt.Sprintf("unit%d{entry=%d ws=%d instrs=%s}", u.ID, u.Entry, u.WorkingSet.Count(), strings.Join(parts, " "))
+}
+
+// Scheme identifies how a Partition was formed.
+type Scheme uint8
+
+const (
+	SchemeRegisterInterval Scheme = iota
+	SchemeStrand
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRegisterInterval:
+		return "register-interval"
+	case SchemeStrand:
+		return "strand"
+	}
+	return "invalid"
+}
+
+// Partition assigns every instruction of a program to a prefetch unit.
+type Partition struct {
+	Prog   *isa.Program
+	Scheme Scheme
+	N      int // register budget per unit (register-cache partition size)
+	Units  []*Unit
+
+	unitOf []int // instruction index -> unit ID
+}
+
+// UnitOf returns the unit containing instruction idx.
+func (p *Partition) UnitOf(idx int) *Unit {
+	return p.Units[p.unitOf[idx]]
+}
+
+// UnitID returns the unit ID for instruction idx (hot path for the
+// simulator: avoids pointer chasing).
+func (p *Partition) UnitID(idx int) int { return p.unitOf[idx] }
+
+// NumUnits returns the number of prefetch units.
+func (p *Partition) NumUnits() int { return len(p.Units) }
+
+// Validate checks the partition invariants:
+//
+//  1. every instruction belongs to exactly one unit,
+//  2. every unit's working set is within the register budget,
+//  3. the working set covers every register accessed inside the unit,
+//  4. unit entry points are inside the unit.
+func (p *Partition) Validate() error {
+	if len(p.unitOf) != len(p.Prog.Instrs) {
+		return fmt.Errorf("core: partition covers %d of %d instructions", len(p.unitOf), len(p.Prog.Instrs))
+	}
+	covered := make([]int, len(p.Prog.Instrs))
+	for _, u := range p.Units {
+		if u.WorkingSet.Count() > p.N {
+			return fmt.Errorf("core: %v working set %d exceeds budget %d", u, u.WorkingSet.Count(), p.N)
+		}
+		inUnit := false
+		for _, r := range u.Ranges {
+			if r[0] > r[1] || r[0] < 0 || r[1] > len(p.Prog.Instrs) {
+				return fmt.Errorf("core: %v has invalid range", u)
+			}
+			if u.Entry >= r[0] && u.Entry < r[1] {
+				inUnit = true
+			}
+			for i := r[0]; i < r[1]; i++ {
+				covered[i]++
+				if p.unitOf[i] != u.ID {
+					return fmt.Errorf("core: instr %d in ranges of unit %d but mapped to %d", i, u.ID, p.unitOf[i])
+				}
+				for _, reg := range p.Prog.Instrs[i].Regs() {
+					if !u.WorkingSet.Test(int(reg)) {
+						return fmt.Errorf("core: %v: instr %d register %v missing from working set", u, i, reg)
+					}
+				}
+			}
+		}
+		if !inUnit {
+			return fmt.Errorf("core: %v entry not inside unit", u)
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			return fmt.Errorf("core: instruction %d covered %d times", i, c)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a partition for experiment reporting.
+type Stats struct {
+	Units          int
+	MeanStatic     float64 // mean static instructions per unit
+	MeanWorkingSet float64 // mean registers per unit working set
+	MaxWorkingSet  int
+}
+
+// Summary computes Stats for the partition.
+func (p *Partition) Summary() Stats {
+	st := Stats{Units: len(p.Units)}
+	for _, u := range p.Units {
+		st.MeanStatic += float64(u.NumInstrs())
+		ws := u.WorkingSet.Count()
+		st.MeanWorkingSet += float64(ws)
+		if ws > st.MaxWorkingSet {
+			st.MaxWorkingSet = ws
+		}
+	}
+	if len(p.Units) > 0 {
+		st.MeanStatic /= float64(len(p.Units))
+		st.MeanWorkingSet /= float64(len(p.Units))
+	}
+	return st
+}
+
+// regsOf returns the architectural registers touched by instruction idx as a
+// bit vector.
+func regsOf(prog *isa.Program, idx int) bitvec.Vector {
+	var v bitvec.Vector
+	for _, r := range prog.Instrs[idx].Regs() {
+		v.Set(int(r))
+	}
+	return v
+}
+
+// finishPartition sorts ranges, computes unitOf, derives unit successor
+// edges from the program's control flow, and validates.
+func finishPartition(p *Partition) (*Partition, error) {
+	p.unitOf = make([]int, len(p.Prog.Instrs))
+	for i := range p.unitOf {
+		p.unitOf[i] = -1
+	}
+	for _, u := range p.Units {
+		sort.Slice(u.Ranges, func(i, j int) bool { return u.Ranges[i][0] < u.Ranges[j][0] })
+		for _, r := range u.Ranges {
+			for i := r[0]; i < r[1]; i++ {
+				p.unitOf[i] = u.ID
+			}
+		}
+	}
+	for i, id := range p.unitOf {
+		if id == -1 {
+			return nil, fmt.Errorf("core: instruction %d not assigned to any unit", i)
+		}
+	}
+
+	// Unit successors: follow each instruction's control-flow successors.
+	succs := make([]map[int]bool, len(p.Units))
+	for i := range succs {
+		succs[i] = map[int]bool{}
+	}
+	n := len(p.Prog.Instrs)
+	addEdge := func(from, toInstr int) {
+		if toInstr < 0 || toInstr >= n {
+			return
+		}
+		to := p.unitOf[toInstr]
+		if to != from {
+			succs[from][to] = true
+		}
+	}
+	for i := range p.Prog.Instrs {
+		in := &p.Prog.Instrs[i]
+		from := p.unitOf[i]
+		switch in.Op {
+		case isa.OpBra:
+			addEdge(from, in.Target)
+		case isa.OpBraCond:
+			addEdge(from, in.Target)
+			addEdge(from, i+1)
+		case isa.OpExit:
+		default:
+			addEdge(from, i+1)
+		}
+	}
+	for id, set := range succs {
+		out := make([]int, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		p.Units[id].Succs = out
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/cfg"
+	"ltrf/internal/isa"
+)
+
+// MinBudget is the smallest usable register budget: an instruction touches
+// at most four registers, so any smaller budget could make single
+// instructions unplaceable.
+const MinBudget = 4
+
+// node is a (possibly split) basic-block fragment during pass 1. Splitting a
+// basic block whose running register list overflows the budget (Algorithm 1
+// lines 30–37) replaces the block with a chain of nodes.
+type node struct {
+	start, end int // instruction range [start, end)
+	succs      []*node
+	preds      []*node
+	callB      bool
+	ivl        int // pass-1 interval id, -1 while unknown
+}
+
+// ivl1 is a register-interval under construction (pass 1) or a merge
+// candidate (pass 2 rounds).
+type ivl1 struct {
+	id    int
+	entry int
+	regs  bitvec.Vector
+	callB bool
+	nodes []*node
+	succs []int // interval-level edges, rebuilt between pass-2 rounds
+	preds []int
+}
+
+// FormRegisterIntervals partitions prog into register-intervals with a
+// working-set budget of n registers, implementing the paper's two-pass
+// algorithm (§3.3). The program must be architecturally register-allocated.
+//
+// One deliberate strengthening versus the paper's pseudocode: the running
+// register list that bounds interval growth is the union of all registers
+// accessed anywhere in the interval so far (not only along the path reaching
+// the current block). This guarantees the invariant that matters to the
+// hardware — the PREFETCH working set of every interval fits the per-warp
+// register-file-cache partition — at the cost of slightly more conservative
+// intervals around diverging branches that never re-join inside the
+// interval. For straight-line code, loops, and diamonds that re-join (the
+// common cases) the result is identical.
+func FormRegisterIntervals(prog *isa.Program, n int) (*Partition, error) {
+	if n < MinBudget {
+		return nil, fmt.Errorf("core: register budget %d below minimum %d", n, MinBudget)
+	}
+	if !prog.IsArchAllocated() {
+		return nil, fmt.Errorf("core: program %q must be register-allocated before interval formation", prog.Name)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes, entry := nodesFromBlocks(g)
+	ivls, err := pass1(prog, nodes, entry, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: repeat until no further reduction (§3.3: "The second pass is
+	// repeated until the CFG can not be reduced anymore"). Each repetition
+	// collapses one level of loop nesting (Figure 6).
+	for {
+		reduced := pass2Round(ivls, n)
+		if len(reduced) == len(ivls) {
+			break
+		}
+		ivls = reduced
+	}
+
+	p := &Partition{Prog: prog, Scheme: SchemeRegisterInterval, N: n}
+	for i, iv := range ivls {
+		u := &Unit{ID: i, Entry: iv.entry, WorkingSet: iv.regs}
+		for _, nd := range iv.nodes {
+			u.Ranges = append(u.Ranges, [2]int{nd.start, nd.end})
+		}
+		p.Units = append(p.Units, u)
+	}
+	return finishPartition(p)
+}
+
+// nodesFromBlocks copies the CFG block structure into mutable nodes.
+func nodesFromBlocks(g *cfg.Graph) (nodes []*node, entry *node) {
+	byBlock := make(map[int]*node, len(g.Blocks))
+	for _, b := range g.Blocks {
+		nd := &node{start: b.Start, end: b.End, callB: b.CallBoundary, ivl: -1}
+		byBlock[b.ID] = nd
+		nodes = append(nodes, nd)
+	}
+	for _, b := range g.Blocks {
+		nd := byBlock[b.ID]
+		for _, s := range b.Succs {
+			nd.succs = append(nd.succs, byBlock[s.ID])
+			byBlock[s.ID].preds = append(byBlock[s.ID].preds, nd)
+		}
+	}
+	return nodes, byBlock[g.Entry.ID]
+}
+
+// pass1 implements Algorithm 1: grow intervals from header nodes, absorbing
+// nodes whose predecessors all lie inside the interval while the working set
+// fits, splitting nodes at budget overflow, and starting fresh intervals at
+// call boundaries.
+func pass1(prog *isa.Program, nodes []*node, entry *node, n int) ([]*ivl1, error) {
+	state := &pass1State{prog: prog, nodes: nodes, n: n}
+
+	state.enqueue(entry)
+	for len(state.work) > 0 {
+		h := state.work[0]
+		state.work = state.work[1:]
+		if h.ivl != -1 {
+			continue
+		}
+		iv := &ivl1{id: len(state.ivls), entry: h.start, callB: h.callB}
+		state.ivls = append(state.ivls, iv)
+		h.ivl = iv.id
+		if err := state.traverse(h, iv, bitvec.Vector{}); err != nil {
+			return nil, err
+		}
+
+		// Absorb nodes entered only from this interval (Algorithm 1
+		// lines 13–17). Call-boundary nodes always become new headers.
+		for changed := true; changed; {
+			changed = false
+			for _, cand := range state.nodes {
+				if cand.ivl != -1 || cand == entry || cand.callB || len(cand.preds) == 0 {
+					continue
+				}
+				all := true
+				for _, p := range cand.preds {
+					if p.ivl != iv.id {
+						all = false
+						break
+					}
+				}
+				if !all {
+					continue
+				}
+				// The candidate joins only if at least its first
+				// instruction fits the interval's budget.
+				first := iv.regs.Union(regsOf(prog, cand.start))
+				if first.Count() > n {
+					continue
+				}
+				cand.ivl = iv.id
+				if err := state.traverse(cand, iv, iv.regs); err != nil {
+					return nil, err
+				}
+				changed = true
+			}
+		}
+
+		// New headers: successors of interval members not yet assigned
+		// (Algorithm 1 lines 18–24).
+		for _, m := range iv.nodes {
+			for _, s := range m.succs {
+				if s.ivl == -1 {
+					state.enqueue(s)
+				}
+			}
+		}
+	}
+
+	// Unreachable nodes (possible in hand-written programs) become their
+	// own intervals so the partition covers the whole program.
+	for _, nd := range state.nodes {
+		if nd.ivl != -1 {
+			continue
+		}
+		iv := &ivl1{id: len(state.ivls), entry: nd.start, callB: nd.callB}
+		nd.ivl = iv.id
+		state.ivls = append(state.ivls, iv)
+		if err := state.traverse(nd, iv, bitvec.Vector{}); err != nil {
+			return nil, err
+		}
+	}
+
+	rebuildIvlEdges(state.ivls)
+	return state.ivls, nil
+}
+
+type pass1State struct {
+	prog   *isa.Program
+	nodes  []*node
+	n      int
+	work   []*node
+	queued map[*node]bool
+	ivls   []*ivl1
+}
+
+func (s *pass1State) enqueue(nd *node) {
+	if s.queued == nil {
+		s.queued = map[*node]bool{}
+	}
+	if s.queued[nd] {
+		return
+	}
+	s.queued[nd] = true
+	s.work = append(s.work, nd)
+}
+
+// traverse is Algorithm 1's TRAVERSE procedure: walk the node's
+// instructions accumulating the register list; if the budget overflows, cut
+// the node and queue the remainder as a new header.
+func (s *pass1State) traverse(nd *node, iv *ivl1, input bitvec.Vector) error {
+	regl := input
+	for i := nd.start; i < nd.end; i++ {
+		t := regl.Union(regsOf(s.prog, i))
+		if t.Count() > s.n {
+			if i == nd.start {
+				return fmt.Errorf("core: instruction %d needs %d registers, exceeding budget %d alone", i, t.Count(), s.n)
+			}
+			s.split(nd, i)
+			break
+		}
+		regl = t
+	}
+	iv.regs = iv.regs.Union(regl)
+	iv.nodes = append(iv.nodes, nd)
+	return nil
+}
+
+// split cuts nd before absolute instruction index at, creating a fallthrough
+// successor node that becomes a new interval header (Algorithm 1 lines
+// 30–37).
+func (s *pass1State) split(nd *node, at int) {
+	n2 := &node{start: at, end: nd.end, succs: nd.succs, ivl: -1}
+	for _, succ := range n2.succs {
+		for i, p := range succ.preds {
+			if p == nd {
+				succ.preds[i] = n2
+			}
+		}
+	}
+	nd.end = at
+	nd.succs = []*node{n2}
+	n2.preds = []*node{nd}
+	s.nodes = append(s.nodes, n2)
+	s.enqueue(n2)
+}
+
+// rebuildIvlEdges recomputes interval-level successor/predecessor edges from
+// node-level edges.
+func rebuildIvlEdges(ivls []*ivl1) {
+	succSets := make([]map[int]bool, len(ivls))
+	predSets := make([]map[int]bool, len(ivls))
+	for i := range ivls {
+		succSets[i] = map[int]bool{}
+		predSets[i] = map[int]bool{}
+		ivls[i].id = i
+	}
+	for _, iv := range ivls {
+		for _, nd := range iv.nodes {
+			for _, sn := range nd.succs {
+				if sn.ivl != iv.id {
+					succSets[iv.id][sn.ivl] = true
+					predSets[sn.ivl][iv.id] = true
+				}
+			}
+		}
+	}
+	for i, iv := range ivls {
+		iv.succs = sortedKeys(succSets[i])
+		iv.preds = sortedKeys(predSets[i])
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pass2Round implements one round of Algorithm 2: merge an interval into its
+// unique-predecessor interval group while the union of working sets fits the
+// budget. Node ivl fields are rewritten to the merged numbering.
+func pass2Round(ivls []*ivl1, n int) []*ivl1 {
+	if len(ivls) == 0 {
+		return ivls
+	}
+	group := make([]int, len(ivls))
+	for i := range group {
+		group[i] = -1
+	}
+	var groups []*ivl1
+	newGroup := func(iv *ivl1) int {
+		g := &ivl1{
+			id:    len(groups),
+			entry: iv.entry,
+			regs:  iv.regs,
+			callB: iv.callB,
+			nodes: append([]*node(nil), iv.nodes...),
+		}
+		groups = append(groups, g)
+		group[iv.id] = g.id
+		return g.id
+	}
+
+	var work []int
+	queued := make([]bool, len(ivls))
+	push := func(id int) {
+		if !queued[id] {
+			queued[id] = true
+			work = append(work, id)
+		}
+	}
+
+	newGroup(ivls[0]) // entry interval (pass 1 creates it first)
+	push(0)
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		gid := group[id]
+		g := groups[gid]
+
+		// Grow: absorb intervals reachable only from this group whose
+		// union working set fits (Algorithm 2 lines 12–15).
+		for changed := true; changed; {
+			changed = false
+			for _, h := range ivls {
+				if group[h.id] != -1 || h.callB || len(h.preds) == 0 {
+					continue
+				}
+				all := true
+				for _, p := range h.preds {
+					if group[p] != gid {
+						all = false
+						break
+					}
+				}
+				if !all {
+					continue
+				}
+				union := g.regs.Union(h.regs)
+				if union.Count() > n {
+					continue
+				}
+				group[h.id] = gid
+				g.regs = union
+				g.nodes = append(g.nodes, h.nodes...)
+				changed = true
+			}
+		}
+
+		// New group headers: unassigned successors (lines 16–21).
+		for _, h := range ivls {
+			if group[h.id] != gid {
+				continue
+			}
+			for _, s := range h.succs {
+				if group[s] == -1 && !queued[s] {
+					newGroup(ivls[s])
+					push(s)
+				}
+			}
+		}
+	}
+
+	// Unreached intervals keep their own groups.
+	for _, iv := range ivls {
+		if group[iv.id] == -1 {
+			newGroup(iv)
+		}
+	}
+
+	// Rewrite node ownership and rebuild edges.
+	for _, g := range groups {
+		for _, nd := range g.nodes {
+			nd.ivl = g.id
+		}
+	}
+	rebuildIvlEdges(groups)
+	return groups
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/cfg"
+	"ltrf/internal/isa"
+)
+
+// FormStrands partitions prog into strands, the prefetch subgraphs of
+// Gebhart et al. [20] evaluated as baselines in §6.6. Strands are far more
+// constrained than register-intervals:
+//
+//   - a strand never spans a basic-block boundary (any control flow — in
+//     particular every backward branch — terminates it),
+//   - a long/variable-latency operation (global/local memory access, SFU
+//     op) or a barrier terminates the strand after issuing,
+//   - the register working set is bounded by the same budget n.
+//
+// The paper's observation (§6.6): "a strand is typically terminated due to
+// unrelated control flow constraints, and as a result, the strand's register
+// working-set is often smaller than the available register file cache
+// space", which is exactly what this construction yields.
+func FormStrands(prog *isa.Program, n int) (*Partition, error) {
+	if n < MinBudget {
+		return nil, fmt.Errorf("core: register budget %d below minimum %d", n, MinBudget)
+	}
+	if !prog.IsArchAllocated() {
+		return nil, fmt.Errorf("core: program %q must be register-allocated before strand formation", prog.Name)
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Partition{Prog: prog, Scheme: SchemeStrand, N: n}
+	close := func(start, end int, ws bitvec.Vector) {
+		p.Units = append(p.Units, &Unit{
+			ID: len(p.Units), Entry: start,
+			WorkingSet: ws, Ranges: [][2]int{{start, end}},
+		})
+	}
+	for _, b := range g.Blocks {
+		start := b.Start
+		var ws bitvec.Vector
+		for i := b.Start; i < b.End; i++ {
+			in := &prog.Instrs[i]
+			r := regsOf(prog, i)
+			if r.Count() > n {
+				return nil, fmt.Errorf("core: instruction %d needs %d registers, exceeding budget %d alone", i, r.Count(), n)
+			}
+			// A backward branch is disallowed inside a strand: it becomes
+			// its own strand, so the loop body re-entered through it lies
+			// in a different unit and is re-prefetched every iteration —
+			// the per-iteration overhead §6.6 attributes to strands.
+			if (in.Op == isa.OpBra || in.Op == isa.OpBraCond) && in.Target <= i {
+				if start < i {
+					close(start, i, ws)
+				}
+				close(i, i+1, r)
+				start, ws = i+1, bitvec.Vector{}
+				continue
+			}
+			if t := ws.Union(r); i > start && t.Count() > n {
+				// Budget overflow: close the strand before i.
+				close(start, i, ws)
+				start, ws = i, r
+			} else {
+				ws = t
+			}
+			// Long-latency operations and barriers terminate the strand
+			// after issuing.
+			if in.Op.IsLongLatency() || in.Op == isa.OpBar {
+				close(start, i+1, ws)
+				start, ws = i+1, bitvec.Vector{}
+			}
+		}
+		if start < b.End {
+			close(start, b.End, ws)
+		}
+	}
+	return finishPartition(p)
+}

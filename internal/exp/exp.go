@@ -1,0 +1,194 @@
+// Package exp contains one experiment driver per table and figure of the
+// paper's evaluation. Each driver regenerates the artifact's data as a
+// Table; EXPERIMENTS.md records paper-reported vs. measured values.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// Cell looks up a row by its first column and returns column col.
+func (t *Table) Cell(rowKey string, col int) (string, bool) {
+	for _, r := range t.Rows {
+		if len(r) > col && r[0] == rowKey {
+			return r[col], true
+		}
+	}
+	return "", false
+}
+
+// Options control experiment execution cost.
+type Options struct {
+	// Quick reduces the per-run instruction budget for smoke tests and
+	// benchmarks (shapes are preserved, absolute numbers get noisier).
+	Quick bool
+	// Workloads restricts simulation-based experiments to the named
+	// workloads (nil = the paper's 14-workload evaluation subset).
+	Workloads []string
+}
+
+// budget returns the dynamic-instruction budget per simulation.
+func (o Options) budget() int64 {
+	if o.Quick {
+		return 12_000
+	}
+	return 40_000
+}
+
+// evalSet resolves the workload list for simulation experiments.
+func (o Options) evalSet() ([]workloads.Workload, error) {
+	if len(o.Workloads) == 0 {
+		return workloads.EvalSet(), nil
+	}
+	var out []workloads.Workload
+	for _, name := range o.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// baseConfig returns the Table 3 system for a design with the experiment
+// budget applied.
+func (o Options) baseConfig(d sim.Design) sim.Config {
+	c := sim.DefaultConfig(d)
+	c.MaxInstrs = o.budget()
+	c.MaxCycles = c.MaxInstrs * 12
+	return c
+}
+
+// Spec describes a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Spec {
+	return []Spec{
+		{"table1", "Register file capacity required to maximize TLP", Table1},
+		{"table2", "Register file design points (technology model)", Table2},
+		{"table4", "Real vs. optimal register-interval lengths", Table4},
+		{"figure2", "On-chip memory capacity across GPU generations", Figure2},
+		{"figure3", "Ideal vs. real TFET-SRAM 8x register file", Figure3},
+		{"figure4", "Register file cache hit rates (HW and SW)", Figure4},
+		{"figure9", "IPC of BL/RFC/LTRF/LTRF+/Ideal on configs #6 and #7", Figure9},
+		{"figure10", "Register file power on config #7", Figure10},
+		{"figure11", "Maximum tolerable register file access latency", Figure11},
+		{"figure12", "Sensitivity to registers per register-interval", Figure12},
+		{"figure13", "Sensitivity to active warp count", Figure13},
+		{"figure14", "LTRF vs. software-managed register caching schemes", Figure14},
+		{"overheads", "LTRF code-size, storage, area, and power overheads", Overheads},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, strings.Join(ids(), ", "))
+}
+
+func ids() []string {
+	var out []string
+	for _, s := range Registry() {
+		out = append(out, s.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// f2, f1, f0 format floats at fixed precision.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// geomean returns the geometric mean of vs (1.0 for empty).
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// mean returns the arithmetic mean of vs (0 for empty).
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/power"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// runOne simulates one (design, technology, latency multiplier, workload)
+// point.
+func runOne(o Options, d sim.Design, tech memtech.Params, latX float64, w workloads.Workload) (*sim.Result, error) {
+	c := o.baseConfig(d)
+	c.Tech = tech
+	c.LatencyX = latX
+	res, err := sim.Run(c, w.Build(workloads.UnrollMaxwell))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", d, w.Name, err)
+	}
+	return res, nil
+}
+
+// label annotates workload names with their sensitivity class.
+func label(w workloads.Workload) string {
+	if w.Sensitive {
+		return w.Name + " (S)"
+	}
+	return w.Name + " (I)"
+}
+
+// Figure3 reproduces the paper's Figure 3: IPC of an ideal 8x TFET-SRAM
+// register file (no latency increase) and the real TFET-SRAM design
+// (configuration #6), normalized to the 256KB baseline.
+func Figure3(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	base := memtech.MustConfig(1)
+	tfet := memtech.MustConfig(6)
+	t := &Table{
+		ID:      "figure3",
+		Title:   "8x register file with ideal vs. real TFET-SRAM latency (normalized IPC)",
+		Headers: []string{"Workload", "Ideal TFET-SRAM", "TFET-SRAM"},
+		Notes: []string{
+			"paper: ideal improves register-sensitive workloads 10-95% (37% avg); real latency forfeits much of the gain",
+		},
+	}
+	var idealS, realS, idealI, realI []float64
+	for _, w := range ws {
+		bl, err := runOne(o, sim.DesignBL, base, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := runOne(o, sim.DesignIdeal, tfet, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		real, err := runOne(o, sim.DesignBL, tfet, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		iN, rN := ideal.IPC/bl.IPC, real.IPC/bl.IPC
+		t.Rows = append(t.Rows, []string{label(w), f2(iN), f2(rN)})
+		if w.Sensitive {
+			idealS = append(idealS, iN)
+			realS = append(realS, rN)
+		} else {
+			idealI = append(idealI, iN)
+			realI = append(realI, rN)
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"mean (insensitive)", f2(geomean(idealI)), f2(geomean(realI))},
+		[]string{"mean (sensitive)", f2(geomean(idealS)), f2(geomean(realS))},
+	)
+	return t, nil
+}
+
+// Figure4 reproduces the paper's Figure 4: read hit rates of the hardware
+// register file cache [19] and the software-managed cache [20].
+func Figure4(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	base := memtech.MustConfig(1)
+	t := &Table{
+		ID:      "figure4",
+		Title:   "Register file cache hit rates (16KB cache)",
+		Headers: []string{"Workload", "HW cache (RFC)", "SW cache (SHRF)"},
+		Notes:   []string{"paper: hit rates between 8% and 30%"},
+	}
+	var hw, sw []float64
+	for _, w := range ws {
+		rfc, err := runOne(o, sim.DesignRFC, base, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		shrf, err := runOne(o, sim.DesignSHRF, base, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		h, s := rfc.RF.ReadHitRate(), shrf.RF.ReadHitRate()
+		hw = append(hw, h)
+		sw = append(sw, s)
+		t.Rows = append(t.Rows, []string{label(w), f2(h), f2(s)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", f2(mean(hw)), f2(mean(sw))})
+	return t, nil
+}
+
+// Figure9 reproduces the paper's Figure 9: IPC of BL, RFC, LTRF, LTRF+, and
+// Ideal with the main register file implemented as configuration #6 (a) and
+// #7 (b), normalized to the baseline architecture of configuration #1.
+func Figure9(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	base := memtech.MustConfig(1)
+	designs := []sim.Design{sim.DesignBL, sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus, sim.DesignIdeal}
+	t := &Table{
+		ID:    "figure9",
+		Title: "Normalized IPC with 8x register files (configs #6 and #7)",
+		Headers: []string{"Workload", "cfg",
+			"BL", "RFC", "LTRF", "LTRF+", "Ideal"},
+		Notes: []string{
+			"normalized to BL on configuration #1 (+16KB, §5)",
+			"paper (cfg #6): LTRF +32% avg, within 5% of Ideal; (cfg #7): LTRF +28%, LTRF+ +31%",
+		},
+	}
+	for _, cfgIdx := range []int{6, 7} {
+		tech := memtech.MustConfig(cfgIdx)
+		sums := map[sim.Design][]float64{}
+		for _, w := range ws {
+			bl1, err := runOne(o, sim.DesignBL, base, 1.0, w)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{label(w), fmt.Sprintf("#%d", cfgIdx)}
+			for _, d := range designs {
+				res, err := runOne(o, d, tech, 1.0, w)
+				if err != nil {
+					return nil, err
+				}
+				n := res.IPC / bl1.IPC
+				sums[d] = append(sums[d], n)
+				row = append(row, f2(n))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		avg := []string{"geomean", fmt.Sprintf("#%d", cfgIdx)}
+		for _, d := range designs {
+			avg = append(avg, f2(geomean(sums[d])))
+		}
+		t.Rows = append(t.Rows, avg)
+	}
+	return t, nil
+}
+
+// Figure10 reproduces the paper's Figure 10: register file power of RFC,
+// LTRF, and LTRF+ with the main register file as configuration #7 (DWM),
+// normalized to the baseline architecture of configuration #1.
+func Figure10(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	base := memtech.MustConfig(1)
+	dwm := memtech.MustConfig(7)
+	designs := []sim.Design{sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus}
+	t := &Table{
+		ID:      "figure10",
+		Title:   "Register file power on configuration #7 (normalized to baseline)",
+		Headers: []string{"Workload", "RFC", "LTRF", "LTRF+"},
+		Notes: []string{
+			"paper averages: RFC 0.649 (-35.1%), LTRF 0.646 (-35.4%), LTRF+ 0.539 (-46.1%)",
+		},
+	}
+	sums := map[sim.Design][]float64{}
+	for _, w := range ws {
+		bl1, err := runOne(o, sim.DesignBL, base, 1.0, w)
+		if err != nil {
+			return nil, err
+		}
+		basePower := power.NewModel(base, false).Compute(bl1.Cycles, bl1.RF).Total() / float64(bl1.Cycles)
+		row := []string{label(w)}
+		for _, d := range designs {
+			res, err := runOne(o, d, dwm, 1.0, w)
+			if err != nil {
+				return nil, err
+			}
+			p := power.NewModel(dwm, true).Compute(res.Cycles, res.RF).Total() / float64(res.Cycles)
+			n := p / basePower
+			sums[d] = append(sums[d], n)
+			row = append(row, f2(n))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avg := []string{"mean"}
+	for _, d := range designs {
+		avg = append(avg, f2(mean(sums[d])))
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// sweepGrid is the latency-multiplier x-axis of Figures 11-14.
+var sweepGrid = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+
+// sweepOne measures normalized IPC (relative to the same design at 1x) for
+// one design and workload across the latency grid.
+func sweepOne(o Options, d sim.Design, w workloads.Workload, cfgMut func(*sim.Config)) ([]float64, error) {
+	base := memtech.MustConfig(1)
+	out := make([]float64, len(sweepGrid))
+	var ipc1 float64
+	for i, x := range sweepGrid {
+		c := o.baseConfig(d)
+		c.Tech = base
+		c.LatencyX = x
+		if cfgMut != nil {
+			cfgMut(&c)
+		}
+		res, err := sim.Run(c, w.Build(workloads.UnrollMaxwell))
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s@%.1fx: %w", d, w.Name, x, err)
+		}
+		if i == 0 {
+			ipc1 = res.IPC
+		}
+		if ipc1 > 0 {
+			out[i] = res.IPC / ipc1
+		}
+	}
+	return out, nil
+}
+
+// maxTolerable interpolates the largest latency multiplier whose normalized
+// IPC stays at or above 1-loss (§6.3's "maximum tolerable register file
+// access latency").
+func maxTolerable(curve []float64, loss float64) float64 {
+	threshold := 1 - loss
+	best := sweepGrid[0]
+	for i := 1; i < len(curve); i++ {
+		if curve[i] >= threshold {
+			best = sweepGrid[i]
+			continue
+		}
+		// Linear interpolation inside [i-1, i] to the crossing point.
+		prev, cur := curve[i-1], curve[i]
+		if prev > cur && prev >= threshold {
+			frac := (prev - threshold) / (prev - cur)
+			best = sweepGrid[i-1] + frac*(sweepGrid[i]-sweepGrid[i-1])
+		}
+		break
+	}
+	return best
+}
+
+// Figure11 reproduces the paper's Figure 11: the maximum tolerable main
+// register file access latency (<=5% IPC loss) per workload for BL, RFC,
+// LTRF, and LTRF+, plus the §6.3 averages at 1% and 10% allowed loss.
+func Figure11(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	designs := []sim.Design{sim.DesignBL, sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus}
+	t := &Table{
+		ID:      "figure11",
+		Title:   "Maximum tolerable register file access latency (5% IPC loss)",
+		Headers: []string{"Workload", "BL", "RFC", "LTRF", "LTRF+"},
+		Notes: []string{
+			"paper averages at 5% loss: RFC 2.1x, LTRF 5.3x, LTRF+ 6.2x",
+			"paper averages at 1% loss: RFC 1.4x, LTRF 2.8x, LTRF+ 3.5x; at 10%: RFC 2.9x, LTRF 6.5x, LTRF+ 7.9x",
+		},
+	}
+	curves := map[sim.Design][][]float64{}
+	for _, w := range ws {
+		row := []string{label(w)}
+		for _, d := range designs {
+			curve, err := sweepOne(o, d, w, nil)
+			if err != nil {
+				return nil, err
+			}
+			curves[d] = append(curves[d], curve)
+			row = append(row, f1(maxTolerable(curve, 0.05)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, loss := range []float64{0.01, 0.05, 0.10} {
+		row := []string{fmt.Sprintf("mean @%d%% loss", int(loss*100))}
+		for _, d := range designs {
+			var tol []float64
+			for _, curve := range curves[d] {
+				tol = append(tol, maxTolerable(curve, loss))
+			}
+			row = append(row, f1(mean(tol)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// sweepAverage runs a latency sweep for several configuration variants and
+// averages the normalized IPC across the evaluation workloads.
+func sweepAverage(o Options, d sim.Design, variants []struct {
+	name string
+	mut  func(*sim.Config)
+}) (*Table, []string, [][]float64, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names := make([]string, len(variants))
+	series := make([][]float64, len(variants))
+	for vi, v := range variants {
+		names[vi] = v.name
+		acc := make([][]float64, len(sweepGrid))
+		for _, w := range ws {
+			curve, err := sweepOne(o, d, w, v.mut)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			for i, val := range curve {
+				acc[i] = append(acc[i], val)
+			}
+		}
+		series[vi] = make([]float64, len(sweepGrid))
+		for i := range acc {
+			series[vi][i] = geomean(acc[i])
+		}
+	}
+	return nil, names, series, nil
+}
+
+func sweepTable(id, title string, names []string, series [][]float64, notes []string) *Table {
+	t := &Table{ID: id, Title: title, Notes: notes}
+	t.Headers = append([]string{"Latency"}, names...)
+	for i, x := range sweepGrid {
+		row := []string{fmt.Sprintf("%.0fx", x)}
+		for vi := range series {
+			row = append(row, f2(series[vi][i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure12 reproduces the paper's Figure 12: LTRF IPC (normalized to its
+// own 1x point) as main RF latency grows, for 8, 16, and 32 registers per
+// register-interval.
+func Figure12(o Options) (*Table, error) {
+	variants := []struct {
+		name string
+		mut  func(*sim.Config)
+	}{
+		{"8 regs", func(c *sim.Config) { c.RegsPerInterval = 8 }},
+		{"16 regs", func(c *sim.Config) { c.RegsPerInterval = 16 }},
+		{"32 regs", func(c *sim.Config) { c.RegsPerInterval = 32 }},
+	}
+	_, names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	if err != nil {
+		return nil, err
+	}
+	return sweepTable("figure12", "LTRF sensitivity to registers per register-interval",
+		names, series, []string{
+			"each series normalized to its own 1x IPC",
+			"paper: 8-reg intervals degrade markedly at high latency; 16 suffices; 32 is not uniformly better",
+		}), nil
+}
+
+// Figure13 reproduces the paper's Figure 13: LTRF IPC versus latency for 4,
+// 8, and 16 active warps, with the per-warp cache partition held constant.
+func Figure13(o Options) (*Table, error) {
+	variants := []struct {
+		name string
+		mut  func(*sim.Config)
+	}{
+		{"4 warps", func(c *sim.Config) { c.ActiveWarps = 4 }},
+		{"8 warps", func(c *sim.Config) { c.ActiveWarps = 8 }},
+		{"16 warps", func(c *sim.Config) { c.ActiveWarps = 16 }},
+	}
+	_, names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	if err != nil {
+		return nil, err
+	}
+	return sweepTable("figure13", "LTRF sensitivity to the number of active warps",
+		names, series, []string{
+			"each series normalized to its own 1x IPC; cache space per warp constant",
+			"paper: 4->8 warps +36.9% at the slowest RF; beyond 8 no significant gain",
+		}), nil
+}
+
+// Figure14 reproduces the paper's Figure 14: normalized IPC versus latency
+// for BL, RFC, SHRF, LTRF with strands, and LTRF with register-intervals.
+func Figure14(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	designs := []struct {
+		name string
+		d    sim.Design
+	}{
+		{"BL", sim.DesignBL},
+		{"RFC", sim.DesignRFC},
+		{"SHRF", sim.DesignSHRF},
+		{"LTRF(strand)", sim.DesignLTRFStrand},
+		{"LTRF(interval)", sim.DesignLTRF},
+	}
+	names := make([]string, len(designs))
+	series := make([][]float64, len(designs))
+	for di, dd := range designs {
+		names[di] = dd.name
+		acc := make([][]float64, len(sweepGrid))
+		for _, w := range ws {
+			curve, err := sweepOne(o, dd.d, w, nil)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range curve {
+				acc[i] = append(acc[i], v)
+			}
+		}
+		series[di] = make([]float64, len(sweepGrid))
+		for i := range acc {
+			series[di][i] = geomean(acc[i])
+		}
+	}
+	return sweepTable("figure14", "LTRF vs. software-managed register caching under latency",
+		names, series, []string{
+			"each series normalized to its own 1x IPC",
+			"paper: SHRF ~ RFC (tolerate ~2x); LTRF(strand) ~3x; LTRF(interval) 5.3x",
+		}), nil
+}

@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+func TestProfileSgemm(t *testing.T) {
+	if os.Getenv("LTRF_DEBUG") == "" {
+		t.Skip("set LTRF_DEBUG=1")
+	}
+	w, _ := workloads.ByName("sgemm")
+	o := Options{}
+	for _, d := range []sim.Design{sim.DesignLTRF, sim.DesignBL} {
+		for _, x := range []float64{1, 4, 7} {
+			c := o.baseConfig(d)
+			c.Tech = memtech.MustConfig(1)
+			c.LatencyX = x
+			res, err := sim.Run(c, w.Build(workloads.UnrollMaxwell))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf("%-5s x%.0f IPC=%.3f cyc=%-7d ins=%-6d w=%-2d regs=%-3d units=%-3d pf=%-6d pfRegs=%-7d act=%-5d deact=%-5d actRegs=%-7d wb=%-7d stall=%-8d mainR=%-7d mainW=%-7d L1=%.2f\n",
+				d, x, res.IPC, res.Cycles, res.Instrs, res.Warps, res.RegsPerThread, res.PrefetchUnits,
+				res.RF.Prefetches, res.RF.PrefetchRegs, res.Activations, res.Deactivations,
+				res.RF.ActivationRegs, res.RF.WritebackRegs, res.PrefetchStallCycles, res.RF.MainReads, res.RF.MainWrites, res.Mem.L1HitRate)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// Builder constructs Programs with structured control flow (counted loops,
+// probabilistic while loops, if/else, inline calls). Because every construct
+// is properly nested, the resulting CFG is reducible with natural loops —
+// the property the paper's footnote 3 assumes for interval analysis.
+//
+// Registers allocated with Reg are virtual (unbounded); run the program
+// through regalloc.Allocate to obtain an architectural-register program, or
+// keep builder registers directly when the count stays within limits.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	nextReg Reg
+	errs    []error
+}
+
+// NewBuilder returns an empty builder for a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg {
+	r := b.nextReg
+	if b.nextReg == RegNone-1 {
+		b.errorf("register space exhausted")
+		return r
+	}
+	b.nextReg++
+	return r
+}
+
+// RegN allocates n fresh virtual registers.
+func (b *Builder) RegN(n int) []Reg {
+	out := make([]Reg, n)
+	for i := range out {
+		out[i] = b.Reg()
+	}
+	return out
+}
+
+// NumRegs returns the number of virtual registers allocated so far.
+func (b *Builder) NumRegs() int { return int(b.nextReg) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+func (b *Builder) errorf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf("isa: builder %q instr %d: %s", b.name, len(b.instrs), fmt.Sprintf(format, args...)))
+}
+
+func (b *Builder) emit(in Instr) int {
+	idx := len(b.instrs)
+	b.instrs = append(b.instrs, in)
+	return idx
+}
+
+func srcs(rs ...Reg) [3]Reg {
+	out := [3]Reg{RegNone, RegNone, RegNone}
+	copy(out[:], rs)
+	return out
+}
+
+// --- ALU ---
+
+func (b *Builder) op2(op Opcode, d, s0, s1 Reg) { b.emit(Instr{Op: op, Dst: d, Src: srcs(s0, s1)}) }
+func (b *Builder) op1(op Opcode, d, s0 Reg)     { b.emit(Instr{Op: op, Dst: d, Src: srcs(s0)}) }
+
+// IAdd emits d = s0 + s1.
+func (b *Builder) IAdd(d, s0, s1 Reg) { b.op2(OpIAdd, d, s0, s1) }
+
+// IAddImm emits d = s0 + imm.
+func (b *Builder) IAddImm(d, s0 Reg, imm int64) {
+	b.emit(Instr{Op: OpIAddImm, Dst: d, Src: srcs(s0), Imm: imm})
+}
+
+// ISub emits d = s0 - s1.
+func (b *Builder) ISub(d, s0, s1 Reg) { b.op2(OpISub, d, s0, s1) }
+
+// IMul emits d = s0 * s1.
+func (b *Builder) IMul(d, s0, s1 Reg) { b.op2(OpIMul, d, s0, s1) }
+
+// IMad emits d = s0*s1 + s2.
+func (b *Builder) IMad(d, s0, s1, s2 Reg) {
+	b.emit(Instr{Op: OpIMad, Dst: d, Src: srcs(s0, s1, s2)})
+}
+
+// IMov emits d = s0.
+func (b *Builder) IMov(d, s0 Reg) { b.op1(OpIMov, d, s0) }
+
+// IMovImm emits d = imm.
+func (b *Builder) IMovImm(d Reg, imm int64) { b.emit(Instr{Op: OpIMovImm, Dst: d, Imm: imm}) }
+
+// Shl emits d = s0 << s1.
+func (b *Builder) Shl(d, s0, s1 Reg) { b.op2(OpShl, d, s0, s1) }
+
+// Shr emits d = s0 >> s1.
+func (b *Builder) Shr(d, s0, s1 Reg) { b.op2(OpShr, d, s0, s1) }
+
+// And emits d = s0 & s1.
+func (b *Builder) And(d, s0, s1 Reg) { b.op2(OpAnd, d, s0, s1) }
+
+// Or emits d = s0 | s1.
+func (b *Builder) Or(d, s0, s1 Reg) { b.op2(OpOr, d, s0, s1) }
+
+// Xor emits d = s0 ^ s1.
+func (b *Builder) Xor(d, s0, s1 Reg) { b.op2(OpXor, d, s0, s1) }
+
+// SetP emits the predicate-producing compare d = cmp(s0, s1).
+func (b *Builder) SetP(d, s0, s1 Reg) { b.op2(OpSetP, d, s0, s1) }
+
+// SetPImm emits d = cmp(s0, imm).
+func (b *Builder) SetPImm(d, s0 Reg, imm int64) {
+	b.emit(Instr{Op: OpSetPImm, Dst: d, Src: srcs(s0), Imm: imm})
+}
+
+// FAdd emits d = s0 + s1.
+func (b *Builder) FAdd(d, s0, s1 Reg) { b.op2(OpFAdd, d, s0, s1) }
+
+// FMul emits d = s0 * s1.
+func (b *Builder) FMul(d, s0, s1 Reg) { b.op2(OpFMul, d, s0, s1) }
+
+// FFMA emits d = s0*s1 + s2.
+func (b *Builder) FFMA(d, s0, s1, s2 Reg) {
+	b.emit(Instr{Op: OpFFMA, Dst: d, Src: srcs(s0, s1, s2)})
+}
+
+// FMov emits d = s0.
+func (b *Builder) FMov(d, s0 Reg) { b.op1(OpFMov, d, s0) }
+
+// --- SFU ---
+
+// FDiv emits d = s0 / s1 on the special function unit.
+func (b *Builder) FDiv(d, s0, s1 Reg) { b.op2(OpFDiv, d, s0, s1) }
+
+// Rcp emits d = 1/s0.
+func (b *Builder) Rcp(d, s0 Reg) { b.op1(OpRcp, d, s0) }
+
+// Sqrt emits d = sqrt(s0).
+func (b *Builder) Sqrt(d, s0 Reg) { b.op1(OpSqrt, d, s0) }
+
+// Sin emits d = sin(s0).
+func (b *Builder) Sin(d, s0 Reg) { b.op1(OpSin, d, s0) }
+
+// Exp emits d = exp(s0).
+func (b *Builder) Exp(d, s0 Reg) { b.op1(OpExp, d, s0) }
+
+// Log emits d = log(s0).
+func (b *Builder) Log(d, s0 Reg) { b.op1(OpLog, d, s0) }
+
+// --- Memory ---
+
+// LdGlobal emits a global load d = [addr] with the given access metadata.
+func (b *Builder) LdGlobal(d, addr Reg, m MemAccess) {
+	m.Space = SpaceGlobal
+	b.emit(Instr{Op: OpLdGlobal, Dst: d, Src: srcs(addr), Mem: &m})
+}
+
+// StGlobal emits a global store [addr] = val.
+func (b *Builder) StGlobal(addr, val Reg, m MemAccess) {
+	m.Space = SpaceGlobal
+	b.emit(Instr{Op: OpStGlobal, Src: srcs(addr, val), Mem: &m})
+}
+
+// LdShared emits a shared-memory load.
+func (b *Builder) LdShared(d, addr Reg, m MemAccess) {
+	m.Space = SpaceShared
+	b.emit(Instr{Op: OpLdShared, Dst: d, Src: srcs(addr), Mem: &m})
+}
+
+// StShared emits a shared-memory store.
+func (b *Builder) StShared(addr, val Reg, m MemAccess) {
+	m.Space = SpaceShared
+	b.emit(Instr{Op: OpStShared, Src: srcs(addr, val), Mem: &m})
+}
+
+// LdConst emits a constant-memory load.
+func (b *Builder) LdConst(d, addr Reg, m MemAccess) {
+	m.Space = SpaceConst
+	b.emit(Instr{Op: OpLdConst, Dst: d, Src: srcs(addr), Mem: &m})
+}
+
+// --- Control flow ---
+
+// Bar emits a barrier synchronization.
+func (b *Builder) Bar() { b.emit(Instr{Op: OpBar}) }
+
+// Exit emits the kernel-terminating instruction.
+func (b *Builder) Exit() { b.emit(Instr{Op: OpExit}) }
+
+// Loop emits a counted loop executing body trip times. The loop maintains a
+// real induction variable and predicate (three overhead instructions) so the
+// register working set of the loop matches compiled code.
+func (b *Builder) Loop(trip int, body func()) {
+	if trip < 1 {
+		b.errorf("Loop trip %d < 1", trip)
+		trip = 1
+	}
+	cnt := b.Reg()
+	p := b.Reg()
+	b.IMovImm(cnt, 0)
+	header := len(b.instrs)
+	body()
+	b.IAddImm(cnt, cnt, 1)
+	b.SetPImm(p, cnt, int64(trip))
+	b.emit(Instr{Op: OpBraCond, Src: srcs(p), Target: header, Trip: trip})
+}
+
+// While emits a do-while loop: body executes once, then repeats while the
+// probabilistic branch on pred is taken (probability prob per iteration).
+func (b *Builder) While(pred Reg, prob float64, body func()) {
+	if prob < 0 || prob >= 1 {
+		b.errorf("While probability %v outside [0,1)", prob)
+		prob = 0.5
+	}
+	header := len(b.instrs)
+	body()
+	b.emit(Instr{Op: OpBraCond, Src: srcs(pred), Target: header, TakenProb: prob})
+}
+
+// If emits a conditional region: then executes with probability probThen,
+// guarded by predicate register pred.
+func (b *Builder) If(pred Reg, probThen float64, then func()) {
+	skip := b.emit(Instr{Op: OpBraCond, Src: srcs(pred), TakenProb: 1 - probThen})
+	then()
+	b.instrs[skip].Target = len(b.instrs)
+	b.ensureLanding()
+}
+
+// IfElse emits a two-armed conditional: then with probability probThen,
+// otherwise els.
+func (b *Builder) IfElse(pred Reg, probThen float64, then, els func()) {
+	toElse := b.emit(Instr{Op: OpBraCond, Src: srcs(pred), TakenProb: 1 - probThen})
+	then()
+	exit := b.emit(Instr{Op: OpBra})
+	b.instrs[toElse].Target = len(b.instrs)
+	els()
+	b.instrs[exit].Target = len(b.instrs)
+	b.ensureLanding()
+}
+
+// ensureLanding guarantees a forward branch has an instruction to land on if
+// a control construct closes the program; Build appends Exit anyway, but a
+// branch to one-past-the-end must stay in range for Validate.
+func (b *Builder) ensureLanding() {
+	// Targets equal to len(instrs) are resolved when the next instruction
+	// is emitted; Build emits a final Exit, so nothing to do here. The
+	// method exists to document the invariant.
+}
+
+// Call emits an inline function call: an OpCall marker, the inlined callee
+// body, and an OpRet marker. Interval formation starts new register-intervals
+// at call boundaries, as the paper's pass 1 does (§3.3).
+func (b *Builder) Call(body func()) {
+	b.emit(Instr{Op: OpCall})
+	body()
+	b.emit(Instr{Op: OpRet})
+}
+
+// Build finalizes the program. A trailing Exit is appended if the program
+// does not already end with one, then the program is validated.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if n := len(b.instrs); n == 0 || b.instrs[n-1].Op != OpExit {
+		b.Exit()
+	}
+	p := &Program{Name: b.name, Instrs: b.instrs}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,373 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegBasics(t *testing.T) {
+	if RegNone.Valid() {
+		t.Error("RegNone must not be valid")
+	}
+	if !Reg(0).Valid() || !Reg(255).Valid() {
+		t.Error("R0/R255 must be valid")
+	}
+	if !Reg(255).IsArch() {
+		t.Error("R255 is architectural")
+	}
+	if Reg(256).IsArch() {
+		t.Error("R256 is virtual, not architectural")
+	}
+	if got := Reg(7).String(); got != "R7" {
+		t.Errorf("Reg(7).String() = %q", got)
+	}
+}
+
+func TestOpcodeMetadata(t *testing.T) {
+	cases := []struct {
+		op    Opcode
+		class Class
+		name  string
+	}{
+		{OpIAdd, ClassALU, "iadd"},
+		{OpFFMA, ClassALU, "ffma"},
+		{OpFDiv, ClassSFU, "fdiv"},
+		{OpSqrt, ClassSFU, "sqrt"},
+		{OpLdGlobal, ClassMem, "ld.global"},
+		{OpStShared, ClassMem, "st.shared"},
+		{OpBra, ClassCtrl, "bra"},
+		{OpExit, ClassCtrl, "exit"},
+		{OpPrefetch, ClassPseudo, "prefetch"},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.class {
+			t.Errorf("%s.Class() = %v, want %v", c.name, got, c.class)
+		}
+		if got := c.op.Name(); got != c.name {
+			t.Errorf("Name() = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpBra.IsBranch() || !OpBraCond.IsBranch() || !OpExit.IsBranch() {
+		t.Error("bra/bra.cond/exit are branches")
+	}
+	if OpCall.IsBranch() || OpRet.IsBranch() {
+		t.Error("call/ret are fallthrough markers, not branches")
+	}
+	if !OpLdGlobal.IsLoad() || OpStGlobal.IsLoad() {
+		t.Error("IsLoad misclassification")
+	}
+	if !OpStGlobal.IsStore() || OpLdGlobal.IsStore() {
+		t.Error("IsStore misclassification")
+	}
+	if !OpLdGlobal.IsLongLatency() || !OpFDiv.IsLongLatency() {
+		t.Error("global loads and SFU ops are long-latency (strand terminators)")
+	}
+	if OpLdShared.IsLongLatency() || OpIAdd.IsLongLatency() {
+		t.Error("shared loads and ALU ops are not long-latency")
+	}
+}
+
+func TestInstrUsesDefs(t *testing.T) {
+	in := Instr{Op: OpIMad, Dst: 3, Src: [3]Reg{1, 2, 4}}
+	if got := in.Uses(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("Uses = %v", got)
+	}
+	if got := in.Defs(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Defs = %v", got)
+	}
+	st := Instr{Op: OpStGlobal, Dst: RegNone, Src: [3]Reg{1, 2, RegNone}}
+	if got := st.Defs(); got != nil {
+		t.Errorf("store Defs = %v, want nil", got)
+	}
+	if got := st.Uses(); len(got) != 2 {
+		t.Errorf("store Uses = %v, want 2 regs", got)
+	}
+}
+
+func buildStraightLine(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("straight")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 1)
+	b.IMovImm(r[1], 2)
+	b.IAdd(r[2], r[0], r[1])
+	b.IMul(r[3], r[2], r[0])
+	return b.MustBuild()
+}
+
+func TestBuilderStraightLine(t *testing.T) {
+	p := buildStraightLine(t)
+	if p.NumInstrs() != 5 { // 4 + exit
+		t.Fatalf("NumInstrs = %d, want 5", p.NumInstrs())
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpExit {
+		t.Error("Build must append Exit")
+	}
+	if p.RegCount() != 4 {
+		t.Errorf("RegCount = %d, want 4", p.RegCount())
+	}
+	if !p.IsArchAllocated() {
+		t.Error("4-register program is architecturally allocated")
+	}
+}
+
+func TestBuilderLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	r := b.RegN(2)
+	b.IMovImm(r[0], 0)
+	b.Loop(10, func() {
+		b.IAdd(r[1], r[0], r[0])
+	})
+	p := b.MustBuild()
+
+	// Find the counted backward branch.
+	var br *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpBraCond {
+			br = &p.Instrs[i]
+		}
+	}
+	if br == nil {
+		t.Fatal("loop must emit a conditional branch")
+	}
+	if br.Trip != 10 {
+		t.Errorf("Trip = %d, want 10", br.Trip)
+	}
+	if br.Target >= len(p.Instrs) || p.Instrs[br.Target].Op != OpIAdd {
+		t.Errorf("backedge should target loop body head, got @%d", br.Target)
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	b := NewBuilder("ifelse")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 1)
+	b.SetPImm(r[2], r[0], 5)
+	b.IfElse(r[2], 0.7,
+		func() { b.IAddImm(r[1], r[0], 1) },
+		func() { b.IAddImm(r[1], r[0], 2) },
+	)
+	b.IAdd(r[0], r[1], r[1])
+	p := b.MustBuild()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The first conditional branch targets the else arm.
+	var cond *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpBraCond {
+			cond = &p.Instrs[i]
+			break
+		}
+	}
+	if cond == nil {
+		t.Fatal("no conditional branch emitted")
+	}
+	if got := cond.TakenProb; got < 0.29 || got > 0.31 {
+		t.Errorf("TakenProb = %v, want 0.3 (1-0.7)", got)
+	}
+}
+
+func TestBuilderIfAtProgramEnd(t *testing.T) {
+	b := NewBuilder("tail-if")
+	r := b.RegN(2)
+	b.SetPImm(r[1], r[0], 0)
+	b.If(r[1], 0.5, func() { b.IAddImm(r[0], r[0], 1) })
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The skip branch must land on the appended Exit.
+	if p.Instrs[1].Op != OpBraCond || p.Instrs[1].Target != len(p.Instrs)-1 {
+		t.Errorf("skip branch target %d, want %d (Exit)", p.Instrs[1].Target, len(p.Instrs)-1)
+	}
+}
+
+func TestBuilderCallMarkers(t *testing.T) {
+	b := NewBuilder("call")
+	r := b.RegN(2)
+	b.IMovImm(r[0], 1)
+	b.Call(func() { b.IAddImm(r[1], r[0], 3) })
+	b.IAdd(r[0], r[1], r[1])
+	p := b.MustBuild()
+	var ops []Opcode
+	for i := range p.Instrs {
+		ops = append(ops, p.Instrs[i].Op)
+	}
+	want := []Opcode{OpIMovImm, OpCall, OpIAddImm, OpRet, OpIAdd, OpExit}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		want string
+	}{
+		{
+			"empty",
+			Program{Name: "e"},
+			"empty",
+		},
+		{
+			"bad-target",
+			Program{Name: "bt", Instrs: []Instr{
+				{Op: OpBra, Target: 99},
+				{Op: OpExit},
+			}},
+			"out of range",
+		},
+		{
+			"mem-without-access",
+			Program{Name: "m", Instrs: []Instr{
+				{Op: OpLdGlobal, Dst: 0, Src: srcs(1)},
+				{Op: OpExit},
+			}},
+			"without MemAccess",
+		},
+		{
+			"missing-dst",
+			Program{Name: "d", Instrs: []Instr{
+				{Op: OpIAdd, Dst: RegNone, Src: srcs(1, 2)},
+				{Op: OpExit},
+			}},
+			"missing destination",
+		},
+		{
+			"fallthrough-end",
+			Program{Name: "f", Instrs: []Instr{
+				{Op: OpIMovImm, Dst: 0},
+			}},
+			"fall through",
+		},
+		{
+			"wrong-arity",
+			Program{Name: "a", Instrs: []Instr{
+				{Op: OpIAdd, Dst: 0, Src: srcs(1)},
+				{Op: OpExit},
+			}},
+			"missing source",
+		},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	b := NewBuilder("clone")
+	r := b.RegN(2)
+	b.LdGlobal(r[0], r[1], MemAccess{Pattern: PatCoalesced, Region: 1, FootprintB: 1 << 20})
+	p := b.MustBuild()
+	q := p.Clone()
+	q.Instrs[0].Mem.Region = 9
+	if p.Instrs[0].Mem.Region != 1 {
+		t.Error("Clone must deep-copy MemAccess")
+	}
+}
+
+func TestStaticCodeBytes(t *testing.T) {
+	b := NewBuilder("size")
+	r := b.RegN(2)
+	b.IAdd(r[0], r[1], r[1])
+	p := b.MustBuild() // iadd + exit = 2 instrs
+	base := p.StaticCodeBytes(false)
+	if base != 16 {
+		t.Fatalf("base code size = %d, want 16", base)
+	}
+	// Insert a PREFETCH: embedded-bit costs 32B, explicit costs 40B.
+	p2 := p.Clone()
+	p2.Instrs = append([]Instr{{Op: OpPrefetch}}, p2.Instrs...)
+	if got := p2.StaticCodeBytes(false); got != base+32 {
+		t.Errorf("embedded prefetch size = %d, want %d", got, base+32)
+	}
+	if got := p2.StaticCodeBytes(true); got != base+40 {
+		t.Errorf("explicit prefetch size = %d, want %d", got, base+40)
+	}
+}
+
+func TestDisassemblyContainsOperands(t *testing.T) {
+	b := NewBuilder("disasm")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 42)
+	b.IAdd(r[2], r[0], r[1])
+	p := b.MustBuild()
+	s := p.String()
+	for _, want := range []string{"imov.imm R0, #42", "iadd R2, R0, R1", "exit", ".kernel disasm"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: any nesting of builder constructs yields a program that
+// validates and ends in Exit.
+func TestQuickBuilderAlwaysValid(t *testing.T) {
+	f := func(trips []uint8, probs []float64) bool {
+		b := NewBuilder("quick")
+		r := b.RegN(4)
+		b.IMovImm(r[0], 0)
+		depth := 0
+		for i, tr := range trips {
+			trip := int(tr)%7 + 1
+			prob := 0.5
+			if i < len(probs) {
+				p := probs[i]
+				if p < 0 {
+					p = -p
+				}
+				prob = p - float64(int(p)) // frac in [0,1)
+			}
+			switch i % 3 {
+			case 0:
+				b.Loop(trip, func() { b.IAdd(r[1], r[0], r[0]) })
+			case 1:
+				b.SetPImm(r[2], r[0], int64(trip))
+				b.If(r[2], prob, func() { b.IAddImm(r[1], r[1], 1) })
+			case 2:
+				b.SetPImm(r[3], r[1], 0)
+				b.IfElse(r[3], prob,
+					func() { b.IMov(r[0], r[1]) },
+					func() { b.IMov(r[1], r[0]) })
+			}
+			depth++
+			if depth > 12 {
+				break
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil && p.Instrs[len(p.Instrs)-1].Op == OpExit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Loop(0, func() {}) // invalid trip count records an error
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should surface builder errors")
+	}
+}

@@ -1,0 +1,244 @@
+// Package isa defines the PTX-like instruction set used by the LTRF
+// reproduction: register operands, ALU/SFU/memory/control opcodes, and a
+// structured-control-flow builder that produces reducible control-flow
+// graphs, mirroring the register-allocated PTX that the paper's compiler
+// passes consume (§5 Methodology).
+package isa
+
+import "fmt"
+
+// Reg identifies a register. Values below MaxArchRegs are architectural
+// register numbers (the PREFETCH bit-vector index space, §3.2); a builder may
+// temporarily produce larger virtual register numbers, which the register
+// allocator maps down to architectural registers.
+type Reg uint16
+
+// RegNone is the sentinel for "no register" in fixed-width operand slots.
+const RegNone Reg = 0xFFFF
+
+// MaxArchRegs is the maximum number of architectural registers per thread.
+// The paper sizes the PREFETCH bit-vector to this value: "in the latest CUDA
+// versions, the compiler can allocate up to 256 registers to each thread".
+const MaxArchRegs = 256
+
+// Valid reports whether r is a usable register id (not RegNone).
+func (r Reg) Valid() bool { return r != RegNone }
+
+// IsArch reports whether r is within the architectural register space.
+func (r Reg) IsArch() bool { return r < MaxArchRegs }
+
+func (r Reg) String() string {
+	if r == RegNone {
+		return "R_"
+	}
+	return fmt.Sprintf("R%d", r)
+}
+
+// Opcode enumerates the instructions of the IR.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Integer ALU.
+	OpIAdd    // d = s0 + s1
+	OpIAddImm // d = s0 + Imm
+	OpISub    // d = s0 - s1
+	OpIMul    // d = s0 * s1
+	OpIMad    // d = s0 * s1 + s2
+	OpIMov    // d = s0
+	OpIMovImm
+	OpShl
+	OpShr
+	OpAnd
+	OpOr
+	OpXor
+	OpSetP    // d = compare(s0, s1): predicate-producing compare
+	OpSetPImm // d = compare(s0, Imm)
+
+	// Floating point ALU.
+	OpFAdd
+	OpFMul
+	OpFFMA // d = s0*s1 + s2
+	OpFMov
+
+	// Special function unit (long-latency transcendental / divide).
+	OpFDiv
+	OpRcp
+	OpSqrt
+	OpSin
+	OpExp
+	OpLog
+
+	// Memory.
+	OpLdGlobal
+	OpStGlobal
+	OpLdShared
+	OpStShared
+	OpLdLocal // register spill fill
+	OpStLocal // register spill
+	OpLdConst
+
+	// Control.
+	OpBra     // unconditional branch to Target
+	OpBraCond // conditional branch: counted (Trip>0) or probabilistic
+	OpCall    // function-call boundary (intervals split here, §3.3)
+	OpRet
+	OpBar // barrier (all-warp sync point)
+	OpExit
+
+	// Pseudo instructions inserted by the LTRF compiler.
+	OpPrefetch // PREFETCH bit-vector (§3.1); operand set in Instr.PF
+
+	numOpcodes
+)
+
+// Class groups opcodes by the execution resource they occupy.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassSFU
+	ClassMem
+	ClassCtrl
+	ClassPseudo
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassSFU:
+		return "sfu"
+	case ClassMem:
+		return "mem"
+	case ClassCtrl:
+		return "ctrl"
+	case ClassPseudo:
+		return "pseudo"
+	}
+	return "invalid"
+}
+
+type opInfo struct {
+	name  string
+	class Class
+	nSrc  int  // number of register sources (excluding predicate/store data)
+	hasD  bool // writes a destination register
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpNop:      {"nop", ClassNop, 0, false},
+	OpIAdd:     {"iadd", ClassALU, 2, true},
+	OpIAddImm:  {"iadd.imm", ClassALU, 1, true},
+	OpISub:     {"isub", ClassALU, 2, true},
+	OpIMul:     {"imul", ClassALU, 2, true},
+	OpIMad:     {"imad", ClassALU, 3, true},
+	OpIMov:     {"imov", ClassALU, 1, true},
+	OpIMovImm:  {"imov.imm", ClassALU, 0, true},
+	OpShl:      {"shl", ClassALU, 2, true},
+	OpShr:      {"shr", ClassALU, 2, true},
+	OpAnd:      {"and", ClassALU, 2, true},
+	OpOr:       {"or", ClassALU, 2, true},
+	OpXor:      {"xor", ClassALU, 2, true},
+	OpSetP:     {"setp", ClassALU, 2, true},
+	OpSetPImm:  {"setp.imm", ClassALU, 1, true},
+	OpFAdd:     {"fadd", ClassALU, 2, true},
+	OpFMul:     {"fmul", ClassALU, 2, true},
+	OpFFMA:     {"ffma", ClassALU, 3, true},
+	OpFMov:     {"fmov", ClassALU, 1, true},
+	OpFDiv:     {"fdiv", ClassSFU, 2, true},
+	OpRcp:      {"rcp", ClassSFU, 1, true},
+	OpSqrt:     {"sqrt", ClassSFU, 1, true},
+	OpSin:      {"sin", ClassSFU, 1, true},
+	OpExp:      {"exp", ClassSFU, 1, true},
+	OpLog:      {"log", ClassSFU, 1, true},
+	OpLdGlobal: {"ld.global", ClassMem, 1, true},
+	OpStGlobal: {"st.global", ClassMem, 2, false},
+	OpLdShared: {"ld.shared", ClassMem, 1, true},
+	OpStShared: {"st.shared", ClassMem, 2, false},
+	OpLdLocal:  {"ld.local", ClassMem, 0, true},
+	OpStLocal:  {"st.local", ClassMem, 1, false},
+	OpLdConst:  {"ld.const", ClassMem, 1, true},
+	OpBra:      {"bra", ClassCtrl, 0, false},
+	OpBraCond:  {"bra.cond", ClassCtrl, 1, false},
+	OpCall:     {"call", ClassCtrl, 0, false},
+	OpRet:      {"ret", ClassCtrl, 0, false},
+	OpBar:      {"bar.sync", ClassCtrl, 0, false},
+	OpExit:     {"exit", ClassCtrl, 0, false},
+	OpPrefetch: {"prefetch", ClassPseudo, 0, false},
+}
+
+// Name returns the mnemonic of the opcode.
+func (o Opcode) Name() string {
+	if int(o) >= len(opTable) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opTable[o].name
+}
+
+// Class returns the execution resource class of the opcode.
+func (o Opcode) Class() Class {
+	if int(o) >= len(opTable) {
+		return ClassNop
+	}
+	return opTable[o].class
+}
+
+// NumSrcSlots returns how many Src operand slots the opcode reads; slots at
+// and beyond this index are padding regardless of content.
+func (o Opcode) NumSrcSlots() int {
+	if int(o) >= len(opTable) {
+		return 0
+	}
+	return opTable[o].nSrc
+}
+
+// WritesDst reports whether the opcode produces a destination register.
+func (o Opcode) WritesDst() bool {
+	if int(o) >= len(opTable) {
+		return false
+	}
+	return opTable[o].hasD
+}
+
+// IsBranch reports whether the opcode transfers control. OpCall and OpRet
+// are inline function boundary markers with fallthrough semantics (the
+// builder inlines callee bodies); they are block leaders but not branches.
+func (o Opcode) IsBranch() bool {
+	return o == OpBra || o == OpBraCond || o == OpExit
+}
+
+// IsLoad reports whether the opcode reads memory into a register.
+func (o Opcode) IsLoad() bool {
+	switch o {
+	case OpLdGlobal, OpLdShared, OpLdLocal, OpLdConst:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the opcode writes memory.
+func (o Opcode) IsStore() bool {
+	switch o {
+	case OpStGlobal, OpStShared, OpStLocal:
+		return true
+	}
+	return false
+}
+
+// IsLongLatency reports whether the opcode is treated as a long-latency
+// operation by strand formation (§6.6): global/local memory accesses and
+// SFU operations terminate strands, as in Gebhart et al. [20].
+func (o Opcode) IsLongLatency() bool {
+	switch o {
+	case OpLdGlobal, OpStGlobal, OpLdLocal, OpStLocal:
+		return true
+	}
+	return o.Class() == ClassSFU
+}
+
+func (o Opcode) String() string { return o.Name() }

@@ -1,0 +1,137 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a register-allocated (or virtual-register) instruction sequence
+// for one GPU kernel. Branch targets are instruction indices.
+type Program struct {
+	Name   string
+	Instrs []Instr
+}
+
+// NumInstrs returns the static instruction count.
+func (p *Program) NumInstrs() int { return len(p.Instrs) }
+
+// MaxReg returns the highest register number referenced, or -1 if none.
+func (p *Program) MaxReg() int {
+	max := -1
+	for i := range p.Instrs {
+		for _, r := range p.Instrs[i].Regs() {
+			if int(r) > max {
+				max = int(r)
+			}
+		}
+	}
+	return max
+}
+
+// RegCount returns the number of registers the program requires per thread
+// (max register number + 1), the quantity nvcc reports as register usage.
+func (p *Program) RegCount() int { return p.MaxReg() + 1 }
+
+// IsArchAllocated reports whether every register is within the architectural
+// register space (i.e. the program has been register-allocated).
+func (p *Program) IsArchAllocated() bool {
+	for i := range p.Instrs {
+		for _, r := range p.Instrs[i].Regs() {
+			if !r.IsArch() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: branch targets in range, memory
+// opcodes carry MemAccess, operand slots match the opcode arity, and the
+// program ends in an instruction that cannot fall through.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		info := opTable[in.Op]
+		if in.Op == OpBra || in.Op == OpBraCond {
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return fmt.Errorf("isa: %q instr %d: branch target %d out of range [0,%d)", p.Name, i, in.Target, len(p.Instrs))
+			}
+		}
+		if in.Op.Class() == ClassMem && in.Mem == nil {
+			return fmt.Errorf("isa: %q instr %d (%s): memory opcode without MemAccess", p.Name, i, in.Op)
+		}
+		if info.hasD && !in.Dst.Valid() {
+			return fmt.Errorf("isa: %q instr %d (%s): missing destination", p.Name, i, in.Op)
+		}
+		for s := 0; s < info.nSrc; s++ {
+			if in.Src[s].Valid() {
+				continue
+			}
+			// Counted loop branches may omit the predicate register:
+			// the trip count drives the walker directly.
+			if in.Op == OpBraCond && in.Trip > 0 {
+				continue
+			}
+			return fmt.Errorf("isa: %q instr %d (%s): missing source operand %d", p.Name, i, in.Op, s)
+		}
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != OpExit && last.Op != OpBra {
+		return fmt.Errorf("isa: %q: final instruction %s can fall through past program end", p.Name, last.Op)
+	}
+	return nil
+}
+
+// String disassembles the program with instruction indices.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".kernel %s  // %d instrs, %d regs\n", p.Name, len(p.Instrs), p.RegCount())
+	for i := range p.Instrs {
+		fmt.Fprintf(&sb, "%4d: %s\n", i, p.Instrs[i].String())
+	}
+	return sb.String()
+}
+
+// Clone returns a deep copy of the program (MemAccess and PF included), so
+// compiler passes can rewrite without aliasing the input.
+func (p *Program) Clone() *Program {
+	out := &Program{Name: p.Name, Instrs: make([]Instr, len(p.Instrs))}
+	copy(out.Instrs, p.Instrs)
+	for i := range out.Instrs {
+		if m := out.Instrs[i].Mem; m != nil {
+			mc := *m
+			out.Instrs[i].Mem = &mc
+		}
+		if pf := out.Instrs[i].PF; pf != nil {
+			pfc := *pf
+			out.Instrs[i].PF = &pfc
+		}
+	}
+	return out
+}
+
+// StaticCodeBytes returns the code size in bytes under the given PREFETCH
+// encoding assumptions (§4.3 Code Size): every instruction is 8 bytes; each
+// PREFETCH bit-vector adds 32 bytes (256 bits); with explicit prefetch
+// instructions the OpPrefetch itself costs 8 further bytes, while with the
+// embedded-bit encoding the marker hides in the preceding instruction.
+func (p *Program) StaticCodeBytes(explicitPrefetch bool) int {
+	const instrBytes = 8
+	const vectorBytes = 32
+	size := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == OpPrefetch {
+			size += vectorBytes
+			if explicitPrefetch {
+				size += instrBytes
+			}
+			continue
+		}
+		size += instrBytes
+	}
+	return size
+}

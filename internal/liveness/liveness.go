@@ -1,0 +1,228 @@
+// Package liveness implements backward dataflow liveness analysis over
+// control-flow graphs. It provides:
+//
+//   - per-block and per-instruction live sets,
+//   - the max-live register demand used for the paper's Table 1
+//     ("registers required to maximize TLP"),
+//   - dead-operand-bit annotation, the compile-time static liveness
+//     information LTRF+ consumes (§3.2: "This information can be
+//     conservatively known at compile-time, using static liveness
+//     analysis").
+package liveness
+
+import (
+	"math/bits"
+
+	"ltrf/internal/cfg"
+	"ltrf/internal/isa"
+)
+
+// set is a dynamic bitset over register numbers (virtual registers may
+// exceed the 256-entry architectural space before allocation).
+type set []uint64
+
+func newSet(nregs int) set { return make(set, (nregs+63)/64) }
+
+func (s set) has(r isa.Reg) bool { return s[int(r)>>6]&(1<<(uint(r)&63)) != 0 }
+func (s set) add(r isa.Reg)      { s[int(r)>>6] |= 1 << (uint(r) & 63) }
+func (s set) del(r isa.Reg)      { s[int(r)>>6] &^= 1 << (uint(r) & 63) }
+
+func (s set) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (s set) copyFrom(o set) { copy(s, o) }
+
+// unionInto ors o into s and reports whether s changed.
+func (s set) unionInto(o set) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s set) regs() []isa.Reg {
+	var out []isa.Reg
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, isa.Reg(wi*64+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Info holds the result of liveness analysis for one program.
+type Info struct {
+	G       *cfg.Graph
+	NumRegs int
+
+	liveIn  []set // per block ID
+	liveOut []set
+}
+
+// Analyze runs the backward dataflow to a fixpoint.
+func Analyze(g *cfg.Graph) *Info {
+	nregs := g.Prog.RegCount()
+	li := &Info{
+		G:       g,
+		NumRegs: nregs,
+		liveIn:  make([]set, len(g.Blocks)),
+		liveOut: make([]set, len(g.Blocks)),
+	}
+	use := make([]set, len(g.Blocks))
+	def := make([]set, len(g.Blocks))
+	for _, b := range g.Blocks {
+		li.liveIn[b.ID] = newSet(nregs)
+		li.liveOut[b.ID] = newSet(nregs)
+		use[b.ID] = newSet(nregs)
+		def[b.ID] = newSet(nregs)
+		for i := 0; i < b.Len(); i++ {
+			in := b.Instr(i)
+			for _, r := range in.Uses() {
+				if !def[b.ID].has(r) {
+					use[b.ID].add(r)
+				}
+			}
+			for _, r := range in.Defs() {
+				def[b.ID].add(r)
+			}
+		}
+	}
+
+	// Backward problem: iterate in postorder so successors are usually
+	// processed before predecessors.
+	post := g.Postorder()
+	tmp := newSet(nregs)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range post {
+			out := li.liveOut[b.ID]
+			for _, s := range b.Succs {
+				if out.unionInto(li.liveIn[s.ID]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			tmp.copyFrom(out)
+			for i := range tmp {
+				tmp[i] &^= def[b.ID][i]
+				tmp[i] |= use[b.ID][i]
+			}
+			if li.liveIn[b.ID].unionInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return li
+}
+
+// LiveInBlock returns the registers live on entry to b.
+func (li *Info) LiveInBlock(b *cfg.Block) []isa.Reg { return li.liveIn[b.ID].regs() }
+
+// LiveOutBlock returns the registers live on exit from b.
+func (li *Info) LiveOutBlock(b *cfg.Block) []isa.Reg { return li.liveOut[b.ID].regs() }
+
+// LiveIn reports whether r is live on entry to b.
+func (li *Info) LiveIn(b *cfg.Block, r isa.Reg) bool { return li.liveIn[b.ID].has(r) }
+
+// LiveOut reports whether r is live on exit from b.
+func (li *Info) LiveOut(b *cfg.Block, r isa.Reg) bool { return li.liveOut[b.ID].has(r) }
+
+// instrLiveOuts walks block b backwards, calling fn with the live-out set of
+// every instruction (set contents are only valid during the callback).
+func (li *Info) instrLiveOuts(b *cfg.Block, fn func(instrIdx int, out set)) {
+	cur := newSet(li.NumRegs)
+	cur.copyFrom(li.liveOut[b.ID])
+	for i := b.Len() - 1; i >= 0; i-- {
+		fn(b.Start+i, cur)
+		in := b.Instr(i)
+		for _, r := range in.Defs() {
+			cur.del(r)
+		}
+		for _, r := range in.Uses() {
+			cur.add(r)
+		}
+	}
+}
+
+// InstrLiveOut returns the registers live immediately after instruction idx.
+func (li *Info) InstrLiveOut(idx int) []isa.Reg {
+	b := li.G.BlockOf(idx)
+	var out []isa.Reg
+	li.instrLiveOuts(b, func(i int, s set) {
+		if i == idx {
+			out = s.regs()
+		}
+	})
+	return out
+}
+
+// MaxLive returns the maximum number of simultaneously live registers at any
+// program point: the per-thread register demand that determines how many
+// registers the compiler would allocate with no register-count constraint
+// (the Table 1 "maxregcount" experiment).
+func (li *Info) MaxLive() int {
+	max := 0
+	for _, b := range li.G.Blocks {
+		li.instrLiveOuts(b, func(_ int, s set) {
+			if c := s.count(); c > max {
+				max = c
+			}
+		})
+		if c := li.liveIn[b.ID].count(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// AnnotateDeadBits fills in the DeadAfter flags of every instruction's
+// source operands: operand register r is dead after instruction i iff r is
+// not live-out of i. These are the per-operand dead bits of [19] that LTRF+
+// uses to skip write-backs and re-fetches of dead registers.
+func (li *Info) AnnotateDeadBits() {
+	prog := li.G.Prog
+	for _, b := range li.G.Blocks {
+		li.instrLiveOuts(b, func(idx int, out set) {
+			in := &prog.Instrs[idx]
+			for s := 0; s < in.Op.NumSrcSlots(); s++ {
+				r := in.Src[s]
+				if !r.Valid() {
+					continue
+				}
+				in.DeadAfter[s] = !out.has(r)
+			}
+		})
+	}
+}
+
+// LiveAt returns the registers live immediately before instruction idx
+// (i.e. the operands an execution arriving at idx still needs).
+func (li *Info) LiveAt(idx int) []isa.Reg {
+	b := li.G.BlockOf(idx)
+	cur := newSet(li.NumRegs)
+	cur.copyFrom(li.liveOut[b.ID])
+	for i := b.Len() - 1; i >= 0; i-- {
+		in := b.Instr(i)
+		for _, r := range in.Defs() {
+			cur.del(r)
+		}
+		for _, r := range in.Uses() {
+			cur.add(r)
+		}
+		if b.Start+i == idx {
+			return cur.regs()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package liveness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltrf/internal/cfg"
+	"ltrf/internal/isa"
+)
+
+func analyze(t testing.TB, p *isa.Program) (*cfg.Graph, *Info) {
+	t.Helper()
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatalf("cfg.Build: %v", err)
+	}
+	return g, Analyze(g)
+}
+
+func TestStraightLineLiveness(t *testing.T) {
+	// R0 = 1; R1 = 2; R2 = R0+R1; R3 = R2*R2; exit
+	b := isa.NewBuilder("straight")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 1)
+	b.IMovImm(r[1], 2)
+	b.IAdd(r[2], r[0], r[1])
+	b.IMul(r[3], r[2], r[2])
+	p := b.MustBuild()
+	g, li := analyze(t, p)
+
+	if got := li.LiveInBlock(g.Entry); len(got) != 0 {
+		t.Errorf("entry live-in = %v, want empty (all regs initialized)", got)
+	}
+	// After instr 2 (IAdd), R2 is live (used by IMul), R0/R1 dead.
+	out := li.InstrLiveOut(2)
+	if len(out) != 1 || out[0] != r[2] {
+		t.Errorf("live-out after IAdd = %v, want [R2]", out)
+	}
+}
+
+func TestMaxLiveStraightLine(t *testing.T) {
+	// Two values live across a long stretch -> max live = 2 at the add.
+	b := isa.NewBuilder("maxlive")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 1)
+	b.IMovImm(r[1], 2)
+	b.IAdd(r[2], r[0], r[1])
+	p := b.MustBuild()
+	_, li := analyze(t, p)
+	if got := li.MaxLive(); got != 2 {
+		t.Errorf("MaxLive = %d, want 2", got)
+	}
+}
+
+func TestMaxLiveGrowsWithWideExpression(t *testing.T) {
+	b := isa.NewBuilder("wide")
+	n := 16
+	regs := b.RegN(n + 1)
+	for i := 0; i < n; i++ {
+		b.IMovImm(regs[i], int64(i))
+	}
+	// Sum them pairwise so all n are simultaneously live at the first add.
+	acc := regs[n]
+	b.IAdd(acc, regs[0], regs[1])
+	for i := 2; i < n; i++ {
+		b.IAdd(acc, acc, regs[i])
+	}
+	_, li := analyze(t, b.MustBuild())
+	if got := li.MaxLive(); got != n {
+		t.Errorf("MaxLive = %d, want %d", got, n)
+	}
+}
+
+func TestLoopKeepsInductionLive(t *testing.T) {
+	b := isa.NewBuilder("loop")
+	r := b.RegN(2)
+	b.IMovImm(r[0], 0)
+	b.Loop(5, func() {
+		b.IAdd(r[1], r[0], r[0]) // uses r0 every iteration
+	})
+	b.IMov(r[0], r[1]) // r1 live after the loop
+	p := b.MustBuild()
+	g, li := analyze(t, p)
+
+	// Find the loop body block (contains the IAdd).
+	var body *cfg.Block
+	for _, blk := range g.Blocks {
+		for i := 0; i < blk.Len(); i++ {
+			if blk.Instr(i).Op == isa.OpIAdd {
+				body = blk
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("no loop body found")
+	}
+	if !li.LiveIn(body, r[0]) {
+		t.Error("r0 must be live into the loop body (read every iteration)")
+	}
+	if !li.LiveOut(body, r[1]) {
+		t.Error("r1 must be live out of the loop body (read after the loop)")
+	}
+}
+
+func TestDeadBitsStraightLine(t *testing.T) {
+	b := isa.NewBuilder("dead")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 1)
+	b.IMovImm(r[1], 2)
+	b.IAdd(r[2], r[0], r[1]) // last use of r0 and r1
+	b.IMul(r[2], r[2], r[2]) // r2 reused; dies here (no later use)
+	p := b.MustBuild()
+	g, li := analyze(t, p)
+	li.AnnotateDeadBits()
+	_ = g
+
+	add := &p.Instrs[2]
+	if !add.DeadAfter[0] || !add.DeadAfter[1] {
+		t.Errorf("both IAdd sources should be dead after: %+v", add.DeadAfter)
+	}
+	mul := &p.Instrs[3]
+	if !mul.DeadAfter[0] {
+		t.Errorf("IMul source r2 dead after last use: %+v", mul.DeadAfter)
+	}
+}
+
+func TestDeadBitsRespectLoopBackedge(t *testing.T) {
+	// A register read inside a loop is NOT dead at its last textual use,
+	// because the backedge will read it again.
+	b := isa.NewBuilder("loopdead")
+	r := b.RegN(2)
+	b.IMovImm(r[0], 3)
+	b.Loop(4, func() {
+		b.IAdd(r[1], r[0], r[0])
+	})
+	p := b.MustBuild()
+	_, li := analyze(t, p)
+	li.AnnotateDeadBits()
+
+	var add *isa.Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpIAdd {
+			add = &p.Instrs[i]
+		}
+	}
+	if add.DeadAfter[0] || add.DeadAfter[1] {
+		t.Errorf("r0 read next iteration; must not be dead: %+v", add.DeadAfter)
+	}
+}
+
+func TestBranchPredicateIsUse(t *testing.T) {
+	b := isa.NewBuilder("pred")
+	r := b.RegN(2)
+	b.IMovImm(r[0], 1)
+	b.SetPImm(r[1], r[0], 5)
+	b.If(r[1], 0.5, func() { b.IAddImm(r[0], r[0], 1) })
+	p := b.MustBuild()
+	g, li := analyze(t, p)
+
+	// The predicate register must be live out of the SetP instruction.
+	var setpIdx int
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpSetPImm {
+			setpIdx = i
+		}
+	}
+	out := li.InstrLiveOut(setpIdx)
+	found := false
+	for _, reg := range out {
+		if reg == r[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("predicate %v not live out of setp: %v", r[1], out)
+	}
+	_ = g
+}
+
+func TestLiveAt(t *testing.T) {
+	b := isa.NewBuilder("liveat")
+	r := b.RegN(3)
+	b.IMovImm(r[0], 1)
+	b.IMovImm(r[1], 2)
+	b.IAdd(r[2], r[0], r[1])
+	p := b.MustBuild()
+	_, li := analyze(t, p)
+	at := li.LiveAt(2) // before the IAdd
+	if len(at) != 2 {
+		t.Fatalf("LiveAt(2) = %v, want r0,r1", at)
+	}
+}
+
+// Property: for random structured programs, the per-instruction live sets
+// satisfy the dataflow equation locally: liveIn(i) = uses(i) ∪
+// (liveOut(i) − defs(i)), and block boundaries agree with successor live-ins.
+func TestQuickDataflowConsistency(t *testing.T) {
+	f := func(shape []uint8) bool {
+		b := isa.NewBuilder("q")
+		r := b.RegN(6)
+		for i := range r {
+			b.IMovImm(r[i], int64(i))
+		}
+		for i, s := range shape {
+			if i > 8 {
+				break
+			}
+			switch s % 3 {
+			case 0:
+				b.Loop(int(s%4)+1, func() { b.IAdd(r[1], r[0], r[2]) })
+			case 1:
+				b.SetPImm(r[3], r[1], 0)
+				b.If(r[3], 0.4, func() { b.IMul(r[4], r[1], r[2]) })
+			case 2:
+				b.SetPImm(r[5], r[4], 1)
+				b.IfElse(r[5], 0.6,
+					func() { b.IMov(r[0], r[4]) },
+					func() { b.IMov(r[4], r[0]) })
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		g, err := cfg.Build(p)
+		if err != nil {
+			return false
+		}
+		li := Analyze(g)
+
+		// Block-level: liveOut(b) must include liveIn(s) for each successor.
+		for _, blk := range g.Blocks {
+			for _, succ := range blk.Succs {
+				for _, reg := range li.LiveInBlock(succ) {
+					if !li.LiveOut(blk, reg) {
+						return false
+					}
+				}
+			}
+		}
+		// MaxLive is an upper bound for every block's live-in size.
+		max := li.MaxLive()
+		for _, blk := range g.Blocks {
+			if len(li.LiveInBlock(blk)) > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dead bits are conservative — if an operand is marked dead, the
+// register does not appear in the instruction's live-out set.
+func TestQuickDeadBitsConservative(t *testing.T) {
+	f := func(shape []uint8) bool {
+		b := isa.NewBuilder("qd")
+		r := b.RegN(4)
+		for i := range r {
+			b.IMovImm(r[i], int64(i))
+		}
+		for i, s := range shape {
+			if i > 6 {
+				break
+			}
+			switch s % 2 {
+			case 0:
+				b.Loop(int(s%3)+1, func() { b.IAdd(r[1], r[0], r[2]) })
+			case 1:
+				b.SetPImm(r[3], r[1], 0)
+				b.If(r[3], 0.5, func() { b.IMul(r[2], r[1], r[1]) })
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		g, err := cfg.Build(p)
+		if err != nil {
+			return false
+		}
+		li := Analyze(g)
+		li.AnnotateDeadBits()
+		for idx := range p.Instrs {
+			in := &p.Instrs[idx]
+			out := li.InstrLiveOut(idx)
+			for s := 0; s < in.Op.NumSrcSlots(); s++ {
+				if !in.Src[s].Valid() || !in.DeadAfter[s] {
+					continue
+				}
+				for _, lr := range out {
+					if lr == in.Src[s] {
+						return false // marked dead but live-out
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package memsys implements the GPU memory hierarchy of the simulated
+// system (paper Table 3): per-SM L1 data cache, shared L2 (LLC), a GDDR5-like
+// DRAM model with per-bank timing and row-buffer awareness, and the warp
+// memory-access coalescer.
+package memsys
+
+import "fmt"
+
+// CacheConfig describes a set-associative cache.
+type CacheConfig struct {
+	Name  string
+	SizeB int // total capacity in bytes
+	LineB int // line size in bytes
+	Ways  int // associativity
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+}
+
+// HitRate returns hits/accesses (0 if no accesses).
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last access stamp
+}
+
+// Cache is a set-associative, LRU, write-through/no-write-allocate cache
+// (the typical GPU L1 policy; stores do not allocate).
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	nsets int
+	shift uint // line offset bits
+	stamp uint64
+	Stats CacheStats
+}
+
+// NewCache builds a cache; size must be divisible by ways*line.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.LineB <= 0 || cfg.Ways <= 0 || cfg.SizeB <= 0 {
+		return nil, fmt.Errorf("memsys: invalid cache config %+v", cfg)
+	}
+	nsets := cfg.SizeB / (cfg.LineB * cfg.Ways)
+	if nsets == 0 || cfg.SizeB%(cfg.LineB*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("memsys: %s: size %dB not divisible into %d-way sets of %dB lines", cfg.Name, cfg.SizeB, cfg.Ways, cfg.LineB)
+	}
+	shift := uint(0)
+	for l := cfg.LineB; l > 1; l >>= 1 {
+		shift++
+	}
+	if 1<<shift != cfg.LineB {
+		return nil, fmt.Errorf("memsys: %s: line size %d not a power of two", cfg.Name, cfg.LineB)
+	}
+	c := &Cache{cfg: cfg, nsets: nsets, shift: shift}
+	c.sets = make([][]cacheLine, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNewCache panics on config error (for statically valid configs).
+func MustNewCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks up the line containing addr. Reads allocate on miss; writes
+// are write-through and do not allocate. Returns whether it hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stamp++
+	c.Stats.Accesses++
+	lineAddr := addr >> c.shift
+	set := int(lineAddr % uint64(c.nsets))
+	tag := lineAddr / uint64(c.nsets)
+
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	if !write {
+		victim := 0
+		for i := range lines {
+			if !lines[i].valid {
+				victim = i
+				break
+			}
+			if lines[i].lru < lines[victim].lru {
+				victim = i
+			}
+		}
+		lines[victim] = cacheLine{tag: tag, valid: true, lru: c.stamp}
+	}
+	return false
+}
+
+// Flush invalidates all lines (between kernel launches).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }

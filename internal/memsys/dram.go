@@ -1,0 +1,111 @@
+package memsys
+
+// DRAMConfig models a GDDR5-like device (paper Table 3: 8 memory
+// controllers, FR-FCFS, tCL=12 tRP=12 tRC=40 tRAS=28 tRCD=12 tRRD=6 ns).
+// Timing here is expressed in core cycles (1137 MHz core clock: 1ns ≈ 1.14
+// cycles; we keep the ratios of Table 3).
+type DRAMConfig struct {
+	Channels     int
+	BanksPerChan int
+	RowBytes     int // row-buffer coverage per bank
+	BurstCycles  int // data-bus occupancy per 128B transaction
+
+	TCL  int // CAS latency (row hit)
+	TRP  int // precharge
+	TRCD int // activate-to-CAS
+	TRC  int // activate-to-activate (same bank)
+}
+
+// DefaultDRAM returns Table 3's memory system scaled to core cycles.
+func DefaultDRAM() DRAMConfig {
+	return DRAMConfig{
+		Channels:     8,
+		BanksPerChan: 16,
+		RowBytes:     2048,
+		BurstCycles:  4,
+		TCL:          14,
+		TRP:          14,
+		TRCD:         14,
+		TRC:          46,
+	}
+}
+
+type dramBank struct {
+	openRow  int64
+	hasOpen  bool
+	nextFree int64 // earliest cycle the bank can begin a new access
+	lastACT  int64 // last activate time (tRC)
+}
+
+// DRAM is a bank-timing DRAM model. True FR-FCFS reordering is approximated
+// by row-buffer-aware in-order per-bank service: a request to the currently
+// open row pays only CAS latency, which captures the row-hit benefit FR-FCFS
+// extracts from streaming GPU traffic (see DESIGN.md §1 substitutions).
+type DRAM struct {
+	cfg   DRAMConfig
+	banks [][]dramBank // [channel][bank]
+	chBus []int64      // per-channel data-bus availability
+
+	Accesses int64
+	RowHits  int64
+}
+
+// NewDRAM builds the DRAM model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	d := &DRAM{cfg: cfg}
+	d.banks = make([][]dramBank, cfg.Channels)
+	for i := range d.banks {
+		d.banks[i] = make([]dramBank, cfg.BanksPerChan)
+	}
+	d.chBus = make([]int64, cfg.Channels)
+	return d
+}
+
+// Access services one 128B transaction beginning no earlier than cycle now,
+// returning its completion cycle.
+func (d *DRAM) Access(now int64, addr uint64) int64 {
+	d.Accesses++
+	ch := int(addr>>7) % d.cfg.Channels // channel interleave at line granularity
+	bankIdx := int(addr>>11) % d.cfg.BanksPerChan
+	row := int64(addr / uint64(d.cfg.RowBytes*d.cfg.BanksPerChan*d.cfg.Channels))
+
+	b := &d.banks[ch][bankIdx]
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+
+	var ready int64
+	if b.hasOpen && b.openRow == row {
+		d.RowHits++
+		ready = start + int64(d.cfg.TCL)
+	} else {
+		// Precharge + activate + CAS, respecting tRC from last activate.
+		actAt := start + int64(d.cfg.TRP)
+		if min := b.lastACT + int64(d.cfg.TRC); actAt < min {
+			actAt = min
+		}
+		b.lastACT = actAt
+		b.openRow = row
+		b.hasOpen = true
+		ready = actAt + int64(d.cfg.TRCD) + int64(d.cfg.TCL)
+	}
+
+	// Data burst occupies the channel bus.
+	busStart := ready
+	if d.chBus[ch] > busStart {
+		busStart = d.chBus[ch]
+	}
+	done := busStart + int64(d.cfg.BurstCycles)
+	d.chBus[ch] = done
+	b.nextFree = ready // bank can overlap next access with the burst
+	return done
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(d.Accesses)
+}

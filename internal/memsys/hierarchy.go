@@ -1,0 +1,118 @@
+package memsys
+
+import (
+	"ltrf/internal/isa"
+)
+
+// HierarchyConfig collects the memory-system parameters of Table 3.
+type HierarchyConfig struct {
+	L1D CacheConfig
+	L2  CacheConfig
+
+	L1HitCycles  int // load-to-use latency on an L1 hit
+	L2HitCycles  int // additional latency for an L2 hit
+	ReturnCycles int // DRAM-to-core return path
+	SharedCycles int // shared-memory access latency
+	ConstCycles  int // constant-cache access latency
+
+	DRAM DRAMConfig
+}
+
+// DefaultHierarchy returns the Table 3 memory system: 16KB 4-way L1D with
+// 128B lines, 2MB 8-way LLC, 8-channel GDDR5.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:          CacheConfig{Name: "L1D", SizeB: 16 << 10, LineB: LineB, Ways: 4},
+		L2:           CacheConfig{Name: "L2", SizeB: 2 << 20, LineB: LineB, Ways: 8},
+		L1HitCycles:  28,
+		L2HitCycles:  160,
+		ReturnCycles: 20,
+		SharedCycles: 24,
+		ConstCycles:  20,
+		DRAM:         DefaultDRAM(),
+	}
+}
+
+// Hierarchy instantiates one SM's view of the memory system. When several
+// SMs are simulated, they share the L2 and DRAM (see NewShared).
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	L1D  *Cache
+	L2   *Cache
+	DRAM *DRAM
+
+	scratch []uint64
+
+	// LongLatencyThreshold is the completion latency above which a load is
+	// treated as long-latency by the two-level scheduler (an L1 miss).
+	LongLatencyThreshold int64
+
+	GlobalLoads  int64
+	GlobalStores int64
+}
+
+// NewHierarchy builds a single-SM hierarchy with private L1/L2/DRAM.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		L1D:  MustNewCache(cfg.L1D),
+		L2:   MustNewCache(cfg.L2),
+		DRAM: NewDRAM(cfg.DRAM),
+	}
+	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
+	return h
+}
+
+// NewShared builds an SM-private view sharing the given L2 and DRAM.
+func NewShared(cfg HierarchyConfig, l2 *Cache, dram *DRAM) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		L1D:  MustNewCache(cfg.L1D),
+		L2:   l2,
+		DRAM: dram,
+	}
+	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Access services a warp memory instruction whose operands are ready at
+// cycle now. It returns the completion cycle of the slowest transaction and
+// whether the access is long-latency (missed L1 / went off-core).
+func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID int, iter int64) (done int64, longLat bool) {
+	m := in.Mem
+	switch m.Space {
+	case isa.SpaceShared:
+		return now + int64(h.cfg.SharedCycles), false
+	case isa.SpaceConst:
+		return now + int64(h.cfg.ConstCycles), false
+	}
+
+	write := in.Op.IsStore()
+	if write {
+		h.GlobalStores++
+	} else {
+		h.GlobalLoads++
+	}
+
+	h.scratch = Transactions(m, warpID, iter, h.scratch[:0])
+	done = now
+	for _, addr := range h.scratch {
+		var t int64
+		if h.L1D.Access(addr, write) {
+			t = now + int64(h.cfg.L1HitCycles)
+		} else if h.L2.Access(addr, write) {
+			t = now + int64(h.cfg.L1HitCycles+h.cfg.L2HitCycles)
+		} else {
+			enterDRAM := now + int64(h.cfg.L1HitCycles+h.cfg.L2HitCycles)
+			t = h.DRAM.Access(enterDRAM, addr) + int64(h.cfg.ReturnCycles)
+		}
+		if t > done {
+			done = t
+		}
+	}
+	longLat = done-now > h.LongLatencyThreshold
+	return done, longLat
+}

@@ -1,0 +1,245 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltrf/internal/isa"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 1024, LineB: 128, Ways: 2})
+	if c.Access(0x1000, false) {
+		t.Error("first access must miss")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x1000+64, false) {
+		t.Error("same-line access must hit")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 4 sets of 128B lines: fill one set with 2 lines, touch the
+	// first, then add a third: the second must be evicted.
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 1024, LineB: 128, Ways: 2})
+	nsets := uint64(4)
+	a := uint64(0)
+	b := a + 128*nsets    // same set
+	cc := a + 2*128*nsets // same set
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false)  // a most recent
+	c.Access(cc, false) // evicts b
+	if !c.Access(a, false) {
+		t.Error("a must survive")
+	}
+	if c.Access(b, false) {
+		t.Error("b must have been evicted")
+	}
+}
+
+func TestCacheWriteNoAllocate(t *testing.T) {
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 1024, LineB: 128, Ways: 2})
+	c.Access(0x2000, true) // write miss: no allocation
+	if c.Access(0x2000, false) {
+		t.Error("write miss must not allocate")
+	}
+}
+
+func TestCacheRejectsBadConfig(t *testing.T) {
+	if _, err := NewCache(CacheConfig{SizeB: 100, LineB: 128, Ways: 2}); err == nil {
+		t.Error("size < one set must fail")
+	}
+	if _, err := NewCache(CacheConfig{SizeB: 1024, LineB: 100, Ways: 2}); err == nil {
+		t.Error("non-power-of-two line must fail")
+	}
+}
+
+func TestDRAMRowHitFasterThanMiss(t *testing.T) {
+	d := NewDRAM(DefaultDRAM())
+	first := d.Access(0, 0x1000) // row miss (cold)
+	// Same channel (stride 8 lines x 128B), same bank, same row: row hit.
+	second := d.Access(first, 0x1000+1024)
+	missLat := first - 0
+	hitLat := second - first
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d should beat miss latency %d", hitLat, missLat)
+	}
+	if d.RowHitRate() != 0.5 {
+		t.Errorf("row hit rate = %v, want 0.5", d.RowHitRate())
+	}
+}
+
+func TestDRAMChannelOccupancy(t *testing.T) {
+	d := NewDRAM(DefaultDRAM())
+	// Two simultaneous accesses to the same channel+bank serialize.
+	a := d.Access(0, 0x0)
+	b := d.Access(0, 0x0+2048*16*8) // same channel/bank, different row
+	if b <= a {
+		t.Errorf("same-bank conflicting accesses must serialize: %d vs %d", a, b)
+	}
+}
+
+func TestDRAMMonotone(t *testing.T) {
+	d := NewDRAM(DefaultDRAM())
+	if done := d.Access(100, 0x42000); done <= 100 {
+		t.Errorf("completion %d must exceed start", done)
+	}
+}
+
+func TestTransactionsCoalesced(t *testing.T) {
+	m := &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20}
+	tx := Transactions(m, 0, 0, nil)
+	if len(tx) != 1 {
+		t.Fatalf("coalesced access = %d transactions, want 1", len(tx))
+	}
+	// Consecutive iterations advance to a new line.
+	tx2 := Transactions(m, 0, 1, nil)
+	if tx[0] == tx2[0] {
+		t.Error("streaming access must advance between iterations")
+	}
+}
+
+func TestTransactionsStrided(t *testing.T) {
+	cases := []struct {
+		stride int32
+		want   int
+	}{
+		{4, 1},    // 32 threads x 4B = 128B = 1 line
+		{8, 2},    // 256B = 2 lines
+		{64, 16},  // 31*64+? spans 16 lines
+		{128, 32}, // every thread its own line
+	}
+	for _, c := range cases {
+		m := &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatStrided, StrideB: c.stride, Region: 0, FootprintB: 1 << 22}
+		tx := Transactions(m, 0, 0, nil)
+		if len(tx) != c.want {
+			t.Errorf("stride %d: %d transactions, want %d", c.stride, len(tx), c.want)
+		}
+	}
+}
+
+func TestTransactionsRandom(t *testing.T) {
+	m := &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatRandom, Region: 2, FootprintB: 1 << 20}
+	tx := Transactions(m, 3, 7, nil)
+	if len(tx) != 8 {
+		t.Fatalf("random access = %d transactions, want 8", len(tx))
+	}
+	// Deterministic: same warp+iter yields same addresses.
+	tx2 := Transactions(m, 3, 7, nil)
+	for i := range tx {
+		if tx[i] != tx2[i] {
+			t.Fatal("transactions must be deterministic")
+		}
+	}
+	// Different iterations scatter differently.
+	tx3 := Transactions(m, 3, 8, nil)
+	same := true
+	for i := range tx {
+		if tx[i] != tx3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different iterations should scatter differently")
+	}
+}
+
+func TestTransactionsRegionsDisjoint(t *testing.T) {
+	m1 := &isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20}
+	m2 := &isa.MemAccess{Pattern: isa.PatCoalesced, Region: 2, FootprintB: 1 << 20}
+	a := Transactions(m1, 0, 0, nil)[0]
+	b := Transactions(m2, 0, 0, nil)[0]
+	if a>>32 == b>>32 {
+		t.Error("regions must map to disjoint address ranges")
+	}
+}
+
+func TestHierarchySharedAndConst(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	sh := &isa.Instr{Op: isa.OpLdShared, Mem: &isa.MemAccess{Space: isa.SpaceShared, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
+	done, long := h.Access(100, sh, 0, 0)
+	if done != 100+int64(h.Config().SharedCycles) || long {
+		t.Errorf("shared access: done=%d long=%v", done, long)
+	}
+	co := &isa.Instr{Op: isa.OpLdConst, Mem: &isa.MemAccess{Space: isa.SpaceConst, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
+	done, long = h.Access(100, co, 0, 0)
+	if done != 100+int64(h.Config().ConstCycles) || long {
+		t.Errorf("const access: done=%d long=%v", done, long)
+	}
+}
+
+func TestHierarchyL1HitVsMiss(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	// Small footprint so the second pass through hits in L1.
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 0, FootprintB: 4 << 10}}
+	var coldMax, warmMax int64
+	iters := int64(4 << 10 / 128)
+	for i := int64(0); i < iters; i++ {
+		done, _ := h.Access(0, ld, 0, i)
+		if done > coldMax {
+			coldMax = done
+		}
+	}
+	for i := int64(0); i < iters; i++ {
+		done, long := h.Access(0, ld, 0, i)
+		if done > warmMax {
+			warmMax = done
+		}
+		if long {
+			t.Fatalf("iter %d: warm access should be an L1 hit", i)
+		}
+	}
+	if warmMax >= coldMax {
+		t.Errorf("warm max latency %d should beat cold %d", warmMax, coldMax)
+	}
+	if hr := h.L1D.Stats.HitRate(); hr < 0.45 {
+		t.Errorf("L1 hit rate %.2f, want >= 0.45 for repeated small footprint", hr)
+	}
+}
+
+func TestHierarchyLongLatencySignal(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatRandom, Region: 3, FootprintB: 64 << 20}}
+	_, long := h.Access(0, ld, 0, 0)
+	if !long {
+		t.Error("cold scattered access over 64MB must be long-latency")
+	}
+}
+
+func TestSharedL2AcrossSMs(t *testing.T) {
+	cfg := DefaultHierarchy()
+	l2 := MustNewCache(cfg.L2)
+	dram := NewDRAM(cfg.DRAM)
+	h1 := NewShared(cfg, l2, dram)
+	h2 := NewShared(cfg, l2, dram)
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16}}
+	h1.Access(0, ld, 0, 0)
+	// Second SM accessing the same line: misses its private L1 but hits
+	// the shared L2.
+	before := l2.Stats.Hits
+	h2.Access(0, ld, 0, 0)
+	if l2.Stats.Hits != before+1 {
+		t.Errorf("L2 should be shared across SM views (hits %d -> %d)", before, l2.Stats.Hits)
+	}
+}
+
+// Property: hierarchy completion is always at least the L1 hit latency and
+// monotone in `now`.
+func TestQuickHierarchyBounds(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 18}}
+	f := func(nowRaw uint16, iterRaw uint8) bool {
+		now := int64(nowRaw)
+		done, _ := h.Access(now, ld, 1, int64(iterRaw))
+		return done >= now+int64(h.Config().L1HitCycles)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

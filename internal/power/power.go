@@ -1,0 +1,108 @@
+// Package power implements the GPUWattch-like register-file energy model
+// used for Figure 10 and the §4.3 overhead analysis. It combines the
+// memtech technology model's per-access dynamic energies and leakage powers
+// with the event counts the simulator produces.
+//
+// All results are relative: the unit is the baseline (configuration #1)
+// register file's dynamic access energy, and reported numbers are normalized
+// to the baseline design's total power on the same workload, exactly as the
+// paper normalizes Figure 10.
+package power
+
+import (
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+)
+
+// Breakdown decomposes register-file energy for one simulation.
+type Breakdown struct {
+	MainDynamic  float64 // main RF accesses
+	MainLeakage  float64
+	CacheDynamic float64 // register file cache accesses
+	CacheLeakage float64
+	WCBDynamic   float64 // warp control block lookups (LTRF overhead §4.3)
+	WCBLeakage   float64
+	XbarDynamic  float64 // prefetch/writeback transfers
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 {
+	return b.MainDynamic + b.MainLeakage + b.CacheDynamic + b.CacheLeakage +
+		b.WCBDynamic + b.WCBLeakage + b.XbarDynamic
+}
+
+// Model holds the technology parameters for the power computation.
+type Model struct {
+	Main memtech.Params // main register file design point
+	// CacheRegs is the register-file cache capacity in warp-registers
+	// (128 = 16KB).
+	CacheRegs int
+	// HasCache and HasWCB select which structures exist in the design.
+	HasCache bool
+	HasWCB   bool
+}
+
+// relative energy constants, in units of one baseline main-RF access.
+const (
+	// cacheAccessEnergy: a 16KB SRAM access vs a 256KB heavily banked
+	// structure with its large crossbar; small structures are far cheaper
+	// per access.
+	cacheAccessEnergy = 0.12
+	// wcbAccessEnergy: the WCB is a few hundred bits per warp ("accessed
+	// within one extra clock cycle", §4.3).
+	wcbAccessEnergy = 0.04
+	// xbarTransferEnergy: moving one 1024-bit register across the narrow
+	// crossbar between RF levels.
+	xbarTransferEnergy = 0.15
+	// leakage of the 16KB cache + WCB relative to baseline main RF
+	// leakage (capacity-proportional: 16KB/256KB plus WCB overhead).
+	cacheLeakFraction = 16.0 / 256.0
+	wcbLeakFraction   = 0.035 // ~5% area at lower activity
+	// baselineLeakPerCycle converts leakage-power-units to per-cycle
+	// energy so that leakShare/dynShare of memtech are respected at the
+	// reference access rate of ~1.9 accesses/cycle.
+	baselineLeakPerCycle = memtech.BaselineLeakPerCycleUnits
+)
+
+// NewModel builds the power model for a design.
+func NewModel(main memtech.Params, cached bool) Model {
+	return Model{Main: main, CacheRegs: 128, HasCache: cached, HasWCB: cached}
+}
+
+// Compute turns simulator event counts into an energy breakdown.
+// cycles is the simulated duration; st the register subsystem counters.
+func (m Model) Compute(cycles int64, st regfile.Stats) Breakdown {
+	var b Breakdown
+
+	mainAccesses := float64(st.MainAccesses())
+	b.MainDynamic = mainAccesses * m.Main.DynEnergyPerAccess()
+	b.MainLeakage = float64(cycles) * m.Main.LeakPowerPerCycle() * baselineLeakPerCycle
+
+	if m.HasCache {
+		cacheAccesses := float64(st.CacheReads + st.CacheWrites)
+		b.CacheDynamic = cacheAccesses * cacheAccessEnergy
+		b.CacheLeakage = float64(cycles) * cacheLeakFraction * baselineLeakPerCycle
+		transfers := float64(st.PrefetchRegs + st.ActivationRegs + st.WritebackRegs)
+		b.XbarDynamic = transfers * xbarTransferEnergy
+	}
+	if m.HasWCB {
+		b.WCBDynamic = float64(st.WCBAccesses) * wcbAccessEnergy
+		b.WCBLeakage = float64(cycles) * wcbLeakFraction * baselineLeakPerCycle
+	}
+	return b
+}
+
+// AreaOverheadX returns the added area of the LTRF structures relative to
+// the baseline register file (§4.3: "LTRF occupies 16% more area than our
+// baseline GPU register file"): the 16KB register cache (1/16 of 256KB),
+// the WCB storage (~5%), the extra crossbar, address allocation units,
+// arbiter, and operand-collector extensions.
+func AreaOverheadX() float64 {
+	const (
+		cacheArea     = 16.0 / 256.0 // register file cache
+		wcbArea       = 0.05         // §4.3 storage cost
+		xbarArea      = 0.03         // narrow crossbar between levels
+		allocatorArea = 0.015        // AAUs + arbiter + collector bits
+	)
+	return cacheArea + wcbArea + xbarArea + allocatorArea
+}

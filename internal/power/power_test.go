@@ -1,0 +1,107 @@
+package power
+
+import (
+	"testing"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+)
+
+// blStats fabricates baseline-like counters: every operand read/write goes
+// to the main RF at roughly 1.9 accesses per cycle.
+func blStats(cycles int64) regfile.Stats {
+	return regfile.Stats{
+		MainReads:  cycles * 13 / 10,
+		MainWrites: cycles * 6 / 10,
+	}
+}
+
+// ltrfStats fabricates LTRF-like counters: cache-served operands, main RF
+// touched only by prefetch/writeback traffic (~4-6x fewer accesses).
+func ltrfStats(cycles int64) regfile.Stats {
+	return regfile.Stats{
+		MainReads:     cycles * 2 / 10,
+		MainWrites:    cycles * 2 / 10,
+		CacheReads:    cycles * 13 / 10,
+		CacheReadHits: cycles * 13 / 10,
+		CacheWrites:   cycles * 6 / 10,
+		WCBAccesses:   cycles * 19 / 10,
+		PrefetchRegs:  cycles * 2 / 10,
+		WritebackRegs: cycles * 2 / 10,
+	}
+}
+
+func TestBaselineSplitMatchesCalibration(t *testing.T) {
+	// At the reference access rate, the baseline RF is 79% leakage / 21%
+	// dynamic by construction.
+	m := NewModel(memtech.MustConfig(1), false)
+	const cycles = 100000
+	b := m.Compute(cycles, blStats(cycles))
+	leakFrac := b.MainLeakage / b.Total()
+	if leakFrac < 0.74 || leakFrac > 0.84 {
+		t.Errorf("baseline leakage fraction = %.3f, want ~0.79", leakFrac)
+	}
+	if b.CacheDynamic != 0 || b.WCBDynamic != 0 {
+		t.Error("BL has no cache/WCB energy")
+	}
+}
+
+func TestLTRFOnDWMSavesPower(t *testing.T) {
+	// Figure 10's headline: LTRF on configuration #7 (DWM) consumes far
+	// less than the baseline SRAM register file, despite the added
+	// structures.
+	base := NewModel(memtech.MustConfig(1), false)
+	ltrf := NewModel(memtech.MustConfig(7), true)
+	const cycles = 100000
+	pBase := base.Compute(cycles, blStats(cycles)).Total()
+	pLTRF := ltrf.Compute(cycles, ltrfStats(cycles)).Total()
+	ratio := pLTRF / pBase
+	if ratio > 0.80 {
+		t.Errorf("LTRF/DWM power ratio = %.3f, want well below 1 (paper: ~0.65 for LTRF, ~0.54 for LTRF+)", ratio)
+	}
+	if ratio < 0.30 {
+		t.Errorf("LTRF/DWM power ratio = %.3f suspiciously low", ratio)
+	}
+}
+
+func TestCachedDesignPaysStructureOverheads(t *testing.T) {
+	// On the SAME technology, a cached design with identical main-RF
+	// traffic must consume MORE than BL (extra structures leak and switch)
+	// — the reason RFC/LTRF only win when they cut main-RF accesses.
+	tech := memtech.MustConfig(1)
+	bl := NewModel(tech, false)
+	cached := NewModel(tech, true)
+	const cycles = 50000
+	st := blStats(cycles)
+	if cached.Compute(cycles, st).Total() <= bl.Compute(cycles, st).Total() {
+		t.Error("cache+WCB overheads must add energy at equal traffic")
+	}
+}
+
+func TestFewerMainAccessesCutDynamicEnergy(t *testing.T) {
+	m := NewModel(memtech.MustConfig(7), true)
+	const cycles = 50000
+	heavy := ltrfStats(cycles)
+	light := heavy
+	light.MainReads /= 2
+	light.MainWrites /= 2
+	if m.Compute(cycles, light).MainDynamic >= m.Compute(cycles, heavy).MainDynamic {
+		t.Error("halving main accesses must cut main dynamic energy")
+	}
+}
+
+func TestAreaOverheadMatchesPaper(t *testing.T) {
+	// §4.3: "LTRF occupies 16% more area than our baseline GPU register
+	// file".
+	got := AreaOverheadX()
+	if got < 0.14 || got > 0.18 {
+		t.Errorf("area overhead = %.3f, want ~0.16", got)
+	}
+}
+
+func TestBreakdownTotalIsSum(t *testing.T) {
+	b := Breakdown{1, 2, 3, 4, 5, 6, 7}
+	if b.Total() != 28 {
+		t.Errorf("Total = %v, want 28", b.Total())
+	}
+}

@@ -1,0 +1,338 @@
+// Package regalloc implements live-interval construction, register-demand
+// analysis, and linear-scan register allocation with spilling over the IR.
+//
+// The paper's Table 1 recompiles 35 workloads with nvcc's maxregcount
+// attribute to measure "the number of registers applications would require
+// if there were no register file size constraints"; Demand is the equivalent
+// analysis here (max simultaneously-live registers), and Allocate maps
+// builder-produced virtual registers onto a bounded architectural register
+// file, inserting local-memory spill code exactly as nvcc does when the
+// register budget is exceeded.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"ltrf/internal/cfg"
+	"ltrf/internal/isa"
+	"ltrf/internal/liveness"
+)
+
+// SpillRegion is the MemAccess region id reserved for spill slots.
+const SpillRegion = 255
+
+// spillTemps is the number of architectural registers reserved for staging
+// spilled operands when spilling is required.
+const spillTemps = 3
+
+// Stats reports what allocation did.
+type Stats struct {
+	Demand      int // max simultaneously-live registers (pre-allocation)
+	Allocated   int // architectural registers used (including temps)
+	SpilledRegs int // number of virtual registers assigned to stack slots
+	SpillLoads  int // ld.local instructions inserted
+	SpillStores int // st.local instructions inserted
+}
+
+// Demand returns the per-thread register demand of the program: the maximum
+// number of simultaneously live registers at any point.
+func Demand(p *isa.Program) (int, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return 0, err
+	}
+	return liveness.Analyze(g).MaxLive(), nil
+}
+
+// Pressure returns the number of registers linear-scan allocation needs to
+// avoid spilling: the maximum overlap of (conservative) live intervals.
+// This is the register count the compiler actually allocates per thread
+// when no maxregcount cap is imposed — the quantity occupancy calculations
+// must use. Pressure >= Demand because linear-scan intervals round live
+// ranges up to whole-block extents.
+func Pressure(p *isa.Program) (int, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return 0, err
+	}
+	li := liveness.Analyze(g)
+	return maxOverlap(buildIntervals(g, li)), nil
+}
+
+// interval is the conservative live range of one virtual register in
+// linearized instruction order (classic linear-scan over-approximation).
+type interval struct {
+	reg        isa.Reg
+	start, end int // inclusive instruction indices
+}
+
+// buildIntervals computes a live interval per register that appears in the
+// program, extended to cover block boundaries where the register is live.
+func buildIntervals(g *cfg.Graph, li *liveness.Info) []interval {
+	starts := map[isa.Reg]int{}
+	ends := map[isa.Reg]int{}
+	extend := func(r isa.Reg, idx int) {
+		if s, ok := starts[r]; !ok || idx < s {
+			starts[r] = idx
+		}
+		if e, ok := ends[r]; !ok || idx > e {
+			ends[r] = idx
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, r := range li.LiveInBlock(b) {
+			extend(r, b.Start)
+		}
+		for _, r := range li.LiveOutBlock(b) {
+			extend(r, b.End-1)
+		}
+		for i := 0; i < b.Len(); i++ {
+			in := b.Instr(i)
+			for _, r := range in.Regs() {
+				extend(r, b.Start+i)
+			}
+		}
+	}
+	out := make([]interval, 0, len(starts))
+	for r, s := range starts {
+		out = append(out, interval{reg: r, start: s, end: ends[r]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].reg < out[j].reg
+	})
+	return out
+}
+
+// maxOverlap returns the maximum number of simultaneously overlapping
+// intervals — the pressure linear scan must accommodate.
+func maxOverlap(ivs []interval) int {
+	type event struct {
+		pos   int
+		delta int
+	}
+	evs := make([]event, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		evs = append(evs, event{iv.start, +1}, event{iv.end + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].pos != evs[j].pos {
+			return evs[i].pos < evs[j].pos
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// Allocate maps the program's registers onto at most k architectural
+// registers using linear scan; registers that do not fit are spilled to
+// local memory. The input program is not modified.
+func Allocate(p *isa.Program, k int) (*isa.Program, Stats, error) {
+	if k < spillTemps+1 {
+		return nil, Stats{}, fmt.Errorf("regalloc: budget %d too small (need at least %d)", k, spillTemps+1)
+	}
+	if k > isa.MaxArchRegs {
+		k = isa.MaxArchRegs
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	li := liveness.Analyze(g)
+	ivs := buildIntervals(g, li)
+	stats := Stats{Demand: li.MaxLive()}
+
+	pressure := maxOverlap(ivs)
+	avail := k
+	var temps []isa.Reg
+	if pressure > k {
+		// Reserve staging temps for spilled operands.
+		avail = k - spillTemps
+		for i := 0; i < spillTemps; i++ {
+			temps = append(temps, isa.Reg(avail+i))
+		}
+	}
+
+	assign, spilled := linearScan(ivs, avail)
+
+	out, loads, stores, err := rewrite(p, assign, spilled, temps)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.SpilledRegs = len(spilled)
+	stats.SpillLoads = loads
+	stats.SpillStores = stores
+	stats.Allocated = out.RegCount()
+	if err := out.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("regalloc: rewritten program invalid: %w", err)
+	}
+	return out, stats, nil
+}
+
+// linearScan performs Poletto–Sarkar linear scan over the sorted intervals
+// with `avail` physical registers, spilling the interval with the furthest
+// end when pressure exceeds the budget.
+func linearScan(ivs []interval, avail int) (assign map[isa.Reg]isa.Reg, spilled map[isa.Reg]int) {
+	assign = map[isa.Reg]isa.Reg{}
+	spilled = map[isa.Reg]int{}
+	free := make([]isa.Reg, 0, avail)
+	for i := avail - 1; i >= 0; i-- {
+		free = append(free, isa.Reg(i)) // pop from the back yields R0 first
+	}
+	type active struct {
+		iv   interval
+		phys isa.Reg
+	}
+	var act []active // sorted by increasing end
+
+	insertActive := func(a active) {
+		i := sort.Search(len(act), func(i int) bool { return act[i].iv.end >= a.iv.end })
+		act = append(act, active{})
+		copy(act[i+1:], act[i:])
+		act[i] = a
+	}
+
+	nextSlot := 0
+	for _, iv := range ivs {
+		// Expire intervals that ended before this one starts.
+		n := 0
+		for _, a := range act {
+			if a.iv.end < iv.start {
+				free = append(free, a.phys)
+			} else {
+				act[n] = a
+				n++
+			}
+		}
+		act = act[:n]
+
+		if len(free) == 0 {
+			// Spill the interval with the furthest end (it or iv).
+			last := act[len(act)-1]
+			if last.iv.end > iv.end {
+				// Steal its register, spill it.
+				delete(assign, last.iv.reg)
+				spilled[last.iv.reg] = nextSlot
+				nextSlot++
+				act = act[:len(act)-1]
+				assign[iv.reg] = last.phys
+				insertActive(active{iv, last.phys})
+			} else {
+				spilled[iv.reg] = nextSlot
+				nextSlot++
+			}
+			continue
+		}
+		phys := free[len(free)-1]
+		free = free[:len(free)-1]
+		assign[iv.reg] = phys
+		insertActive(active{iv, phys})
+	}
+	return assign, spilled
+}
+
+// rewrite produces the allocated program: registers renamed, spilled uses
+// loaded into temps before each instruction, spilled defs stored after.
+// Branch targets are remapped to the first instruction emitted for the old
+// target (its reloads included).
+func rewrite(p *isa.Program, assign map[isa.Reg]isa.Reg, spilled map[isa.Reg]int, temps []isa.Reg) (*isa.Program, int, int, error) {
+	out := &isa.Program{Name: p.Name}
+	firstNew := make([]int, len(p.Instrs))
+	loads, stores := 0, 0
+
+	spillMem := func(slot int) *isa.MemAccess {
+		return &isa.MemAccess{
+			Space:      isa.SpaceLocal,
+			Pattern:    isa.PatCoalesced,
+			Region:     SpillRegion,
+			FootprintB: int64((slot + 1) * 4 * 32), // slot words × 32 threads
+		}
+	}
+
+	for idx := range p.Instrs {
+		firstNew[idx] = len(out.Instrs)
+		in := p.Instrs[idx] // copy
+		tmpUsed := 0
+		takeTemp := func() (isa.Reg, error) {
+			if tmpUsed >= len(temps) {
+				return isa.RegNone, fmt.Errorf("regalloc: out of spill temps at instr %d", idx)
+			}
+			r := temps[tmpUsed]
+			tmpUsed++
+			return r, nil
+		}
+
+		// Reload spilled sources.
+		for s := 0; s < in.Op.NumSrcSlots(); s++ {
+			r := in.Src[s]
+			if !r.Valid() {
+				continue
+			}
+			if slot, ok := spilled[r]; ok {
+				tmp, err := takeTemp()
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				out.Instrs = append(out.Instrs, isa.Instr{
+					Op:  isa.OpLdLocal,
+					Dst: tmp,
+					Src: [3]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone},
+					Imm: int64(slot),
+					Mem: spillMem(slot),
+				})
+				loads++
+				in.Src[s] = tmp
+			} else if phys, ok := assign[r]; ok {
+				in.Src[s] = phys
+			}
+		}
+
+		// Rename or spill the destination. A spilled destination may reuse
+		// the first temp even when all temps staged sources: the sources
+		// are consumed before the destination is written.
+		var pendingStore *isa.Instr
+		if in.Op.WritesDst() && in.Dst.Valid() {
+			if slot, ok := spilled[in.Dst]; ok {
+				tmp, err := takeTemp()
+				if err != nil {
+					tmp = temps[0]
+				}
+				in.Dst = tmp
+				pendingStore = &isa.Instr{
+					Op:  isa.OpStLocal,
+					Dst: isa.RegNone,
+					Src: [3]isa.Reg{tmp, isa.RegNone, isa.RegNone},
+					Imm: int64(slot),
+					Mem: spillMem(slot),
+				}
+			} else if phys, ok := assign[in.Dst]; ok {
+				in.Dst = phys
+			}
+		}
+
+		out.Instrs = append(out.Instrs, in)
+		if pendingStore != nil {
+			out.Instrs = append(out.Instrs, *pendingStore)
+			stores++
+		}
+	}
+
+	// Remap branch targets.
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		if in.Op == isa.OpBra || in.Op == isa.OpBraCond {
+			in.Target = firstNew[in.Target]
+		}
+	}
+	return out, loads, stores, nil
+}

@@ -1,0 +1,230 @@
+package regalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltrf/internal/isa"
+)
+
+// wideKernel creates a kernel with n simultaneously live registers.
+func wideKernel(t testing.TB, n int) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("wide")
+	regs := b.RegN(n + 1)
+	for i := 0; i < n; i++ {
+		b.IMovImm(regs[i], int64(i))
+	}
+	acc := regs[n]
+	b.IAdd(acc, regs[0], regs[1])
+	for i := 2; i < n; i++ {
+		b.IAdd(acc, acc, regs[i])
+	}
+	b.StGlobal(acc, acc, isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16})
+	return b.MustBuild()
+}
+
+func TestDemand(t *testing.T) {
+	p := wideKernel(t, 20)
+	d, err := Demand(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 20 {
+		t.Errorf("Demand = %d, want 20", d)
+	}
+}
+
+func TestAllocateRenameOnly(t *testing.T) {
+	// Budget comfortably above demand: pure renaming, no spills.
+	p := wideKernel(t, 10)
+	out, st, err := Allocate(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRegs != 0 || st.SpillLoads != 0 || st.SpillStores != 0 {
+		t.Errorf("no spills expected: %+v", st)
+	}
+	if out.RegCount() > 32 {
+		t.Errorf("RegCount = %d, exceeds budget 32", out.RegCount())
+	}
+	if len(out.Instrs) != len(p.Instrs) {
+		t.Errorf("renaming must not change instruction count: %d vs %d", len(out.Instrs), len(p.Instrs))
+	}
+	if !out.IsArchAllocated() {
+		t.Error("allocated program must use architectural registers only")
+	}
+}
+
+func TestAllocateDense(t *testing.T) {
+	// Registers should be packed near zero, not scattered.
+	p := wideKernel(t, 10)
+	out, _, err := Allocate(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RegCount() > 12 {
+		t.Errorf("dense packing expected: RegCount = %d for demand ~11", out.RegCount())
+	}
+}
+
+func TestAllocateWithSpills(t *testing.T) {
+	// Demand 20, budget 8 -> spilling is mandatory.
+	p := wideKernel(t, 20)
+	out, st, err := Allocate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRegs == 0 {
+		t.Fatal("expected spills with demand 20, budget 8")
+	}
+	if st.SpillLoads == 0 || st.SpillStores == 0 {
+		t.Errorf("expected spill code, got %+v", st)
+	}
+	if out.RegCount() > 8 {
+		t.Errorf("RegCount = %d, exceeds budget 8", out.RegCount())
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("spilled program invalid: %v", err)
+	}
+	// Spill code uses local memory in the reserved region.
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		if in.Op == isa.OpLdLocal || in.Op == isa.OpStLocal {
+			if in.Mem == nil || in.Mem.Space != isa.SpaceLocal || in.Mem.Region != SpillRegion {
+				t.Fatalf("spill instr %d has wrong memory metadata: %+v", i, in.Mem)
+			}
+		}
+	}
+}
+
+func TestAllocatePreservesBranchStructure(t *testing.T) {
+	b := isa.NewBuilder("loops")
+	r := b.RegN(24)
+	for i := 0; i < 20; i++ {
+		b.IMovImm(r[i], int64(i))
+	}
+	b.Loop(5, func() {
+		acc := r[20]
+		b.IAdd(acc, r[0], r[1])
+		for i := 2; i < 20; i++ {
+			b.IAdd(acc, acc, r[i])
+		}
+	})
+	p := b.MustBuild()
+
+	out, st, err := Allocate(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpilledRegs == 0 {
+		t.Fatal("expected spilling")
+	}
+	// The rewritten loop must still contain a backward branch.
+	found := false
+	for i := range out.Instrs {
+		in := &out.Instrs[i]
+		if in.Op == isa.OpBraCond && in.Target < i {
+			found = true
+			// The target must be a valid instruction.
+			if in.Target < 0 || in.Target >= len(out.Instrs) {
+				t.Fatalf("branch target %d out of range", in.Target)
+			}
+		}
+	}
+	if !found {
+		t.Error("backward branch lost during rewrite")
+	}
+}
+
+func TestAllocateRejectsTinyBudget(t *testing.T) {
+	p := wideKernel(t, 5)
+	if _, _, err := Allocate(p, 2); err == nil {
+		t.Error("budget 2 must be rejected (below temps+1)")
+	}
+}
+
+func TestDemandCapBehavesLikeMaxregcount(t *testing.T) {
+	// Verifying the Table 1 mechanism: a kernel with demand D allocated at
+	// cap K < D still fits in K registers (with spills), mirroring nvcc
+	// -maxregcount.
+	p := wideKernel(t, 40)
+	for _, k := range []int{8, 16, 32, 64} {
+		out, _, err := Allocate(p, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if out.RegCount() > k {
+			t.Errorf("k=%d: RegCount=%d exceeds cap", k, out.RegCount())
+		}
+	}
+}
+
+// Property: allocation always yields a valid architectural program within
+// budget, for random structured kernels and random budgets.
+func TestQuickAllocateAlwaysValid(t *testing.T) {
+	f := func(shape []uint8, kRaw uint8) bool {
+		k := int(kRaw)%60 + 4 // budget in [4, 63]
+		b := isa.NewBuilder("q")
+		r := b.RegN(12)
+		for i := range r {
+			b.IMovImm(r[i], int64(i))
+		}
+		for i, s := range shape {
+			if i > 8 {
+				break
+			}
+			switch s % 3 {
+			case 0:
+				b.Loop(int(s%3)+1, func() {
+					b.IAdd(r[0], r[1], r[2])
+					b.IMul(r[3], r[4], r[5])
+				})
+			case 1:
+				b.SetPImm(r[6], r[0], 1)
+				b.If(r[6], 0.5, func() { b.IAdd(r[7], r[8], r[9]) })
+			case 2:
+				b.IMad(r[10], r[0], r[3], r[7])
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		out, _, err := Allocate(p, k)
+		if err != nil {
+			return false
+		}
+		return out.Validate() == nil && out.RegCount() <= k && out.IsArchAllocated()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of non-spill instructions is preserved by allocation
+// (rewrite only adds ld.local/st.local).
+func TestQuickAllocatePreservesWork(t *testing.T) {
+	f := func(n uint8) bool {
+		width := int(n)%24 + 2
+		p := wideKernel(t, width)
+		out, _, err := Allocate(p, 16)
+		if err != nil {
+			return false
+		}
+		countReal := func(pr *isa.Program) int {
+			c := 0
+			for i := range pr.Instrs {
+				op := pr.Instrs[i].Op
+				if op != isa.OpLdLocal && op != isa.OpStLocal {
+					c++
+				}
+			}
+			return c
+		}
+		return countReal(p) == countReal(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package regfile
+
+import (
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+// LTRF is the paper's latency-tolerant register file: a software PREFETCH
+// at every prefetch-unit entry moves the unit's register working set from
+// the main RF into the warp's register-cache partition, so all in-unit
+// accesses hit the fast cache while other warps hide the prefetch latency
+// (§3). With Plus=true it is LTRF+, which consults the runtime liveness
+// bit-vector to skip dead registers on prefetch, write-back, and
+// reactivation (§3.2).
+type LTRF struct {
+	cached
+	plus bool
+}
+
+// NewLTRF builds LTRF (plus=false) or LTRF+ (plus=true).
+func NewLTRF(cfg Config, plus bool) *LTRF {
+	return &LTRF{cached: newCached(cfg), plus: plus}
+}
+
+func (c *LTRF) Name() string {
+	if c.plus {
+		return "LTRF+"
+	}
+	return "LTRF"
+}
+
+func (c *LTRF) NeedsUnits() bool { return true }
+
+// ReadOperands: every source is guaranteed resident by the PREFETCH
+// contract, so reads see only WCB + cache-bank latency. A read of a
+// non-resident register (possible only for registers never written, e.g.
+// uninitialized reads) falls back to the main RF and is counted.
+func (c *LTRF) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
+	start := now + operandOverhead(&c.cfg, len(srcs))
+	done := start
+	for _, r := range srcs {
+		c.st.CacheReads++
+		var t int64
+		if w.Present.Test(int(r)) {
+			c.st.CacheReadHits++
+			t = c.readCacheReg(start, w, r)
+		} else {
+			c.st.FallbackReads++
+			t = c.readMainReg(start, w, r)
+			c.installReg(start, w, r)
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// WriteResult writes into the register cache; the slot was allocated by the
+// PREFETCH (dead registers get a slot without data, §3.2). Writes are
+// buffered: the return value is the write latency.
+func (c *LTRF) WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64 {
+	c.st.CacheWrites++
+	if !w.Present.Test(int(dst)) {
+		c.installReg(now, w, dst)
+	}
+	w.Dirty.Set(int(dst))
+	return int64(c.cfg.CacheCycles)
+}
+
+// OnUnitEnter executes the PREFETCH operation (§4.2): stream the new
+// working set's missing registers from the main RF banks through the narrow
+// crossbar, making room lazily with FIFO eviction of registers outside the
+// working set (dirty — for LTRF+ only live — victims are written back).
+// Registers of earlier units stay resident while space allows, so re-entry
+// into a recently executed unit fetches little. The warp stalls until its
+// last register arrives; other active warps keep issuing, which is the
+// latency overlap at the heart of LTRF.
+func (c *LTRF) OnUnitEnter(now int64, w *WarpRegs, unitID int, ws bitvec.Vector) int64 {
+	if unitID == w.CurUnit {
+		return now
+	}
+	c.st.Prefetches++
+
+	done := now
+	fetch := ws.Diff(w.Present)
+	fetch.ForEach(func(i int) {
+		r := isa.Reg(i)
+		if w.FreeSlots() == 0 {
+			c.evictForAvoiding(now, w, ws, c.plus)
+		}
+		w.allocate(r)
+		if c.plus && !w.Live.Test(i) {
+			// Dead register: allocate space only; its first access will
+			// be a write (§3.2).
+			return
+		}
+		c.st.PrefetchRegs++
+		if t := c.fetchReg(now, w, r); t > done {
+			done = t
+		}
+	})
+	tracePrefetch("pf w=%d unit=%d now=%d stall=%d fetch=%d free0=%d mainU=%.2f xbarU=%.2f\n",
+		w.ID, unitID, now, done-now, fetch.Count(), c.main.free[0], c.main.Utilization(now+1), c.xbar.Utilization(now+1))
+
+	w.WS = ws
+	w.CurUnit = unitID
+	return done
+}
+
+// OnActivate re-fetches the working set of the interrupted unit from the
+// main RF (§4.2 Warp Stall: "it must refetch all its specified registers in
+// its working-set bit-vector that are still live").
+func (c *LTRF) OnActivate(now int64, w *WarpRegs) int64 {
+	if w.CurUnit == -1 {
+		return now // never entered a unit: first PREFETCH will load it
+	}
+	c.st.Activations++
+	done := now
+	w.WS.ForEach(func(i int) {
+		r := isa.Reg(i)
+		if w.Present.Test(i) {
+			return
+		}
+		if w.FreeSlots() == 0 {
+			c.evictFor(now, w)
+		}
+		w.allocate(r)
+		if c.plus && !w.Live.Test(i) {
+			return
+		}
+		c.st.ActivationRegs++
+		if t := c.fetchReg(now, w, r); t > done {
+			done = t
+		}
+	})
+	return done
+}
+
+// OnDeactivate writes the warp's registers back to the main RF and releases
+// its partition: the dirty resident set for basic LTRF, only dirty live
+// registers for LTRF+ (§3.2). Clean registers are skipped in both variants:
+// their main-RF copy is still valid (they arrived via PREFETCH and were
+// never overwritten), so writing them back would move data the main RF
+// already holds.
+func (c *LTRF) OnDeactivate(now int64, w *WarpRegs) int64 {
+	wb := w.Present.Intersect(w.Dirty)
+	if c.plus {
+		wb = wb.Intersect(w.Live)
+	}
+	return c.flush(now, w, wb)
+}

@@ -1,0 +1,149 @@
+package regfile
+
+import (
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+// rfcKey identifies one warp-register in the shared cache.
+type rfcKey struct {
+	warp int
+	reg  isa.Reg
+}
+
+type rfcEntry struct {
+	key rfcKey
+	wr  *WarpRegs
+}
+
+// RFC is the hardware register-file cache of Gebhart et al. [19] as the
+// paper evaluates it (§2.3): a conventional SHARED cache over the active
+// warps' registers with FIFO replacement, allocating on result writes and
+// read misses, with no prefetching. Its hit rate is low for the three
+// reasons §2.3 lists — warps displace each other's registers, renamed
+// temporaries have little temporal locality, and there is no spatial
+// locality to exploit — so read misses expose the full main-RF latency,
+// capping its latency tolerance around 2x (§6.3).
+type RFC struct {
+	cached
+	slots   int
+	fifo    []rfcEntry
+	present map[rfcKey]bool
+}
+
+// NewRFC builds the [19]-style shared hardware register cache.
+func NewRFC(cfg Config) *RFC {
+	slots := cfg.SharedCacheRegs
+	if slots < 1 {
+		slots = cfg.CacheBanks * 8
+	}
+	return &RFC{
+		cached:  newCached(cfg),
+		slots:   slots,
+		present: make(map[rfcKey]bool, slots),
+	}
+}
+
+func (c *RFC) Name() string     { return "RFC" }
+func (c *RFC) NeedsUnits() bool { return false }
+
+// has reports whether (warp, reg) is resident in the shared cache.
+func (c *RFC) has(w *WarpRegs, r isa.Reg) bool {
+	return c.present[rfcKey{w.ID, r}]
+}
+
+// install inserts (warp, reg), evicting the FIFO victim if the cache is
+// full; a dirty victim is written back to the main RF.
+func (c *RFC) install(now int64, w *WarpRegs, r isa.Reg) {
+	key := rfcKey{w.ID, r}
+	if c.present[key] {
+		return
+	}
+	if len(c.fifo) >= c.slots {
+		victim := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.present, victim.key)
+		if victim.wr.Dirty.Test(int(victim.key.reg)) {
+			c.writebackReg(now, victim.wr, victim.key.reg)
+		}
+		victim.wr.Present.Clear(int(victim.key.reg))
+		victim.wr.Dirty.Clear(int(victim.key.reg))
+	}
+	c.fifo = append(c.fifo, rfcEntry{key, w})
+	c.present[key] = true
+	w.Present.Set(int(r))
+}
+
+// cacheBankOf spreads shared-cache accesses over the cache banks.
+func (c *RFC) cacheBankOf(w *WarpRegs, r isa.Reg) int {
+	return (int(r) + w.ID*5) % c.cfg.CacheBanks
+}
+
+// ReadOperands serves each source from the shared register cache when
+// resident; misses read the main RF with exposed latency. Read misses do
+// not allocate: [19]'s RFC captures the temporal locality of freshly
+// produced RESULTS ("registers house temporary values"), so registers that
+// are only read — loop invariants, base pointers, coefficients — never
+// enter the cache and miss every time. This is a key contributor to the
+// low hit rates of Figure 4.
+func (c *RFC) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
+	start := now + operandOverhead(&c.cfg, len(srcs))
+	done := start
+	for _, r := range srcs {
+		c.st.CacheReads++
+		var t int64
+		if c.has(w, r) {
+			c.st.CacheReadHits++
+			c.st.WCBAccesses++
+			t = c.cache.Access(start+int64(c.cfg.WCBCycles), c.cacheBankOf(w, r))
+		} else {
+			t = c.readMainReg(start, w, r)
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// WriteResult allocates a shared-cache slot for the destination
+// (write-allocate) and marks it dirty; the return value is the write
+// latency.
+func (c *RFC) WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64 {
+	c.st.CacheWrites++
+	c.install(now, w, dst)
+	w.Dirty.Set(int(dst))
+	return int64(c.cfg.CacheCycles)
+}
+
+// OnUnitEnter is a no-op: RFC has no software prefetch.
+func (c *RFC) OnUnitEnter(now int64, w *WarpRegs, unitID int, ws bitvec.Vector) int64 {
+	w.CurUnit = unitID
+	return now
+}
+
+// OnActivate performs no refill: the cache refills on demand.
+func (c *RFC) OnActivate(now int64, w *WarpRegs) int64 { return now }
+
+// OnDeactivate flushes the warp's entries: dirty registers are written back
+// and the slots are freed for other warps.
+func (c *RFC) OnDeactivate(now int64, w *WarpRegs) int64 {
+	done := now
+	kept := c.fifo[:0]
+	for _, e := range c.fifo {
+		if e.key.warp != w.ID {
+			kept = append(kept, e)
+			continue
+		}
+		delete(c.present, e.key)
+		if w.Dirty.Test(int(e.key.reg)) {
+			if t := c.writebackReg(now, w, e.key.reg); t > done {
+				done = t
+			}
+		}
+		w.Present.Clear(int(e.key.reg))
+		w.Dirty.Clear(int(e.key.reg))
+	}
+	c.fifo = kept
+	return done
+}

@@ -1,0 +1,89 @@
+package regfile
+
+import (
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+// Stats counts register-file events; the power model (internal/power) turns
+// these into energy, and Figure 4's hit rates come from the cache counters.
+type Stats struct {
+	MainReads  int64 // registers read from the main RF
+	MainWrites int64 // registers written to the main RF
+
+	CacheReads    int64 // register cache read accesses
+	CacheReadHits int64
+	CacheWrites   int64
+
+	Prefetches   int64 // PREFETCH operations executed
+	PrefetchRegs int64 // registers moved by PREFETCH
+
+	Activations    int64 // warp activations with register refetch
+	ActivationRegs int64
+	WritebackRegs  int64 // registers written back (deactivation/eviction)
+
+	WCBAccesses   int64
+	FallbackReads int64 // reads that unexpectedly missed under LTRF
+}
+
+// ReadHitRate returns the register cache read hit rate (Figure 4's metric).
+func (s *Stats) ReadHitRate() float64 {
+	if s.CacheReads == 0 {
+		return 0
+	}
+	return float64(s.CacheReadHits) / float64(s.CacheReads)
+}
+
+// MainAccesses returns total main register file accesses.
+func (s *Stats) MainAccesses() int64 { return s.MainReads + s.MainWrites }
+
+// Subsystem is the register-file design under evaluation. The simulator
+// calls it at issue (ReadOperands), completion (WriteResult), prefetch-unit
+// boundaries (OnUnitEnter), and warp activation changes. All methods take
+// and return absolute cycle times.
+type Subsystem interface {
+	Name() string
+
+	// NeedsUnits reports whether the design consumes a prefetch-subgraph
+	// partition (LTRF variants and SHRF).
+	NeedsUnits() bool
+
+	// ReadOperands returns the cycle at which all source operands have
+	// been collected, starting at `now`.
+	ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64
+
+	// WriteResult records the result write of dst. It is called at issue
+	// time (`now`) so that any bookkeeping side effects (slot allocation,
+	// eviction write-backs) charge resources monotonically; it returns the
+	// write LATENCY in cycles, which the caller adds to the instruction's
+	// execution completion to obtain the register-ready time.
+	WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64
+
+	// OnUnitEnter executes the PREFETCH operation for a new prefetch unit
+	// and returns the cycle at which the warp may resume issuing.
+	OnUnitEnter(now int64, w *WarpRegs, unitID int, ws bitvec.Vector) int64
+
+	// OnActivate makes an inactive warp active, re-fetching its register
+	// working set where the design requires it; returns when the warp may
+	// issue.
+	OnActivate(now int64, w *WarpRegs) int64
+
+	// OnDeactivate removes the warp from the active set, writing back
+	// registers as the design requires; returns when the write-back
+	// completes.
+	OnDeactivate(now int64, w *WarpRegs) int64
+
+	Stats() *Stats
+	Config() Config
+}
+
+// operandOverhead returns the extra cycles for collecting more operands
+// than the WCB address table has ports (§4.1: "Any instruction that operates
+// on more than two operands must fetch the register file cache addresses of
+// all operands over multiple cycles").
+func operandOverhead(cfg *Config, nsrcs int) int64 {
+	if nsrcs <= cfg.OperandPorts {
+		return 0
+	}
+	return int64((nsrcs - 1) / cfg.OperandPorts)
+}

@@ -1,0 +1,15 @@
+package regfile
+
+import (
+	"fmt"
+	"os"
+)
+
+// prefetchTrace enables verbose PREFETCH timing diagnostics (calibration).
+var prefetchTrace = os.Getenv("LTRF_PFTRACE") != ""
+
+func tracePrefetch(format string, args ...interface{}) {
+	if prefetchTrace {
+		fmt.Printf(format, args...)
+	}
+}

@@ -1,0 +1,126 @@
+package regfile
+
+import (
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+// WarpRegs is the per-warp register bookkeeping shared by all cached
+// designs. It models the Warp Control Block of Figure 7 (register cache
+// address table + working-set bit-vector + liveness bit-vector) and the
+// per-warp address allocation unit of Figure 8 (the unused/occupied queues
+// become a free-bank FIFO plus the allocation-order list used for FIFO
+// replacement).
+type WarpRegs struct {
+	ID int
+
+	// Present is the working-set/valid bit-vector: registers currently
+	// resident in the register-file cache.
+	Present bitvec.Vector
+	// Dirty marks resident registers modified since they were fetched.
+	Dirty bitvec.Vector
+	// Live is the runtime liveness bit-vector of LTRF+ (§3.2): cleared at
+	// warp start, set on register writes, cleared by dead-operand bits.
+	Live bitvec.Vector
+	// WS is the working-set bit-vector of the current prefetch unit, used
+	// to re-fetch after reactivation in the middle of a unit (§4.2 Warp
+	// Stall).
+	WS bitvec.Vector
+
+	// CurUnit is the prefetch unit the warp is executing (-1 before the
+	// first PREFETCH).
+	CurUnit int
+
+	// addrTable is the register cache address table: architectural
+	// register -> cache bank, or -1 when not resident.
+	addrTable [isa.MaxArchRegs]int16
+	// freeBanks is the unused queue of the address allocation unit.
+	freeBanks []int16
+	// fifo records allocation order for FIFO replacement (RFC/SHRF).
+	fifo []isa.Reg
+}
+
+// NewWarpRegs creates the bookkeeping for one warp with a cache partition of
+// cacheBanks registers.
+func NewWarpRegs(id, cacheBanks int) *WarpRegs {
+	w := &WarpRegs{ID: id}
+	w.Reset(cacheBanks)
+	return w
+}
+
+// Reset clears all state and re-fills the unused queue (kernel relaunch).
+func (w *WarpRegs) Reset(cacheBanks int) {
+	w.Present = bitvec.Vector{}
+	w.Dirty = bitvec.Vector{}
+	w.Live = bitvec.Vector{}
+	w.WS = bitvec.Vector{}
+	w.CurUnit = -1
+	for i := range w.addrTable {
+		w.addrTable[i] = -1
+	}
+	w.freeBanks = w.freeBanks[:0]
+	for i := 0; i < cacheBanks; i++ {
+		w.freeBanks = append(w.freeBanks, int16(i))
+	}
+	w.fifo = w.fifo[:0]
+}
+
+// CacheBank returns the cache bank holding register r, or -1.
+func (w *WarpRegs) CacheBank(r isa.Reg) int { return int(w.addrTable[r]) }
+
+// FreeSlots returns the number of unallocated cache banks.
+func (w *WarpRegs) FreeSlots() int { return len(w.freeBanks) }
+
+// allocate assigns a free cache bank to register r (Figure 8: dequeue the
+// unused queue, enqueue the occupied queue). Returns false when the
+// partition is full.
+func (w *WarpRegs) allocate(r isa.Reg) bool {
+	if w.addrTable[r] != -1 {
+		return true
+	}
+	if len(w.freeBanks) == 0 {
+		return false
+	}
+	bank := w.freeBanks[0]
+	w.freeBanks = w.freeBanks[1:]
+	w.addrTable[r] = bank
+	w.Present.Set(int(r))
+	w.fifo = append(w.fifo, r)
+	return true
+}
+
+// release frees register r's cache bank back to the unused queue.
+func (w *WarpRegs) release(r isa.Reg) {
+	bank := w.addrTable[r]
+	if bank == -1 {
+		return
+	}
+	w.addrTable[r] = -1
+	w.Present.Clear(int(r))
+	w.Dirty.Clear(int(r))
+	w.freeBanks = append(w.freeBanks, bank)
+	for i, fr := range w.fifo {
+		if fr == r {
+			w.fifo = append(w.fifo[:i], w.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// fifoVictim returns the oldest resident register (FIFO replacement) or
+// RegNone when empty.
+func (w *WarpRegs) fifoVictim() isa.Reg {
+	if len(w.fifo) == 0 {
+		return isa.RegNone
+	}
+	return w.fifo[0]
+}
+
+// WCBStorageBits returns the per-warp WCB storage cost in bits for the
+// given architectural register count (§4.3 Storage Cost): a 5-bit address
+// table entry per register (4-bit bank number for 16 cache banks + valid),
+// a 3-bit warp-offset address, and the 256-bit working-set and liveness
+// bit-vectors.
+func WCBStorageBits(archRegs int) int {
+	return archRegs*5 + 3 + 256 + 256
+}

@@ -1,0 +1,189 @@
+// Package sim is the cycle-level GPU timing simulator: a Maxwell-like
+// streaming multiprocessor (Table 3) with a two-level warp scheduler
+// [19, 53], scoreboarded in-order warps, operand collection through a
+// pluggable register-file subsystem (internal/regfile), and the memory
+// hierarchy of internal/memsys.
+//
+// Execution is timing-directed: warps walk the kernel's control-flow graph
+// with deterministic branch outcomes (trip counts and seeded probabilistic
+// branches) and generated memory address streams; data values are not
+// computed (see DESIGN.md §3 for why this preserves the paper's effects).
+package sim
+
+import (
+	"fmt"
+
+	"ltrf/internal/memsys"
+	"ltrf/internal/memtech"
+)
+
+// Design selects the register-file design under evaluation (§5 Comparison
+// Points plus the LTRF-strand ablation of §6.6).
+type Design uint8
+
+const (
+	// DesignBL is the conventional non-cached register file. For fairness
+	// its capacity is augmented by the 16KB the other designs spend on the
+	// register file cache (§5).
+	DesignBL Design = iota
+	// DesignRFC is the hardware register file cache of [19].
+	DesignRFC
+	// DesignSHRF is the software-managed hierarchical RF of [20] (strands).
+	DesignSHRF
+	// DesignLTRF prefetches register-interval working sets (the paper).
+	DesignLTRF
+	// DesignLTRFPlus adds operand-liveness awareness (§3.2).
+	DesignLTRFPlus
+	// DesignLTRFStrand is LTRF prefetching at strand granularity (§6.6).
+	DesignLTRFStrand
+	// DesignIdeal has 8x capacity at baseline latency (upper bound).
+	DesignIdeal
+)
+
+func (d Design) String() string {
+	switch d {
+	case DesignBL:
+		return "BL"
+	case DesignRFC:
+		return "RFC"
+	case DesignSHRF:
+		return "SHRF"
+	case DesignLTRF:
+		return "LTRF"
+	case DesignLTRFPlus:
+		return "LTRF+"
+	case DesignLTRFStrand:
+		return "LTRF(strand)"
+	case DesignIdeal:
+		return "Ideal"
+	}
+	return "invalid"
+}
+
+// IsCached reports whether the design uses a register-file cache.
+func (d Design) IsCached() bool { return d != DesignBL && d != DesignIdeal }
+
+// NeedsUnits reports whether the design consumes a prefetch partition.
+func (d Design) NeedsUnits() bool {
+	switch d {
+	case DesignSHRF, DesignLTRF, DesignLTRFPlus, DesignLTRFStrand:
+		return true
+	}
+	return false
+}
+
+// UsesStrands reports whether the partition scheme is strands rather than
+// register-intervals.
+func (d Design) UsesStrands() bool { return d == DesignSHRF || d == DesignLTRFStrand }
+
+// Config assembles one simulation's parameters.
+type Config struct {
+	Design Design
+
+	// Tech is the main register file design point (Table 2); LatencyX
+	// scales its access latency for the sweep figures (11-14).
+	Tech     memtech.Params
+	LatencyX float64
+
+	// CapacityKB overrides the main RF capacity used for warp occupancy;
+	// 0 means Tech.CapacityKB(). BL and Ideal automatically gain the
+	// CacheKB the cached designs spend on the register cache (§5).
+	CapacityKB int
+	// CacheKB is the register file cache size (Table 3: 16KB).
+	CacheKB int
+
+	MaxWarps        int // resident warp contexts per SM (Table 3: 64)
+	ActiveWarps     int // two-level scheduler active set (Table 3: 8)
+	RegsPerInterval int // register budget N per prefetch unit (Table 3: 16)
+	IssueWidth      int // instructions issued per SM cycle
+	Collectors      int // operand collector units; an instruction holds one
+	// from issue until its operands are read, so slow register reads
+	// throttle issue SM-wide (Figures 1 and 5)
+
+	ALULat int // dependent-use latency of ALU ops
+	SFULat int // special function unit latency
+
+	Mem memsys.HierarchyConfig
+
+	MaxCycles int64 // hard stop
+	MaxInstrs int64 // dynamic instruction budget
+
+	// DeactivateThreshold: an operand that will not be ready for at least
+	// this many cycles marks the warp as blocked on a long-latency
+	// operation, triggering two-level descheduling.
+	DeactivateThreshold int64
+
+	// WideXbar uses a full-bandwidth (1 cycle/register) prefetch crossbar
+	// instead of the 4x-narrower one of §4.2 (ablation).
+	WideXbar bool
+	// FlatScheduler disables two-level scheduling, making all resident
+	// warps schedulable (ablation; BL and Ideal use this implicitly).
+	FlatScheduler bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 3 system for a design at baseline
+// technology (configuration #1) and latency 1x.
+func DefaultConfig(d Design) Config {
+	return Config{
+		Design:              d,
+		Tech:                memtech.MustConfig(1),
+		LatencyX:            1.0,
+		CacheKB:             16,
+		MaxWarps:            64,
+		ActiveWarps:         8,
+		RegsPerInterval:     16,
+		IssueWidth:          2,
+		Collectors:          8,
+		ALULat:              6,
+		SFULat:              20,
+		Mem:                 memsys.DefaultHierarchy(),
+		MaxCycles:           600_000,
+		MaxInstrs:           200_000,
+		DeactivateThreshold: 60,
+		Seed:                0x1234,
+	}
+}
+
+// EffectiveCapacityKB returns the main RF capacity used for occupancy,
+// including the BL/Ideal fairness adjustment.
+func (c *Config) EffectiveCapacityKB() int {
+	kb := c.CapacityKB
+	if kb == 0 {
+		kb = c.Tech.CapacityKB()
+	}
+	if !c.Design.IsCached() {
+		kb += c.CacheKB
+	}
+	if c.Design == DesignIdeal {
+		// Ideal is defined as 8x the baseline capacity at baseline
+		// latency (§5); capacity follows the studied tech point, which
+		// is already 8x for configs #6/#7. Nothing extra to do.
+		_ = kb
+	}
+	return kb
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.LatencyX <= 0 {
+		return fmt.Errorf("sim: LatencyX %v must be positive", c.LatencyX)
+	}
+	if c.MaxWarps < 1 || c.ActiveWarps < 1 {
+		return fmt.Errorf("sim: warp counts must be positive (%d/%d)", c.MaxWarps, c.ActiveWarps)
+	}
+	if c.RegsPerInterval < 4 {
+		return fmt.Errorf("sim: RegsPerInterval %d below minimum 4", c.RegsPerInterval)
+	}
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("sim: IssueWidth must be >= 1")
+	}
+	if c.Collectors < 1 {
+		return fmt.Errorf("sim: Collectors must be >= 1")
+	}
+	if c.MaxCycles < 1 || c.MaxInstrs < 1 {
+		return fmt.Errorf("sim: budgets must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ltrf/internal/isa"
+)
+
+// accKernel: register-blocked accumulation — every iteration updates nAcc
+// independent accumulators. Reuse distance nAcc+coefs exceeds the 16-entry
+// cache partition, so demand caches thrash (capacity misses every
+// iteration) while LTRF prefetches each interval's set in one batch.
+func accKernel(nAcc, iters int) *isa.Program {
+	b := isa.NewBuilder("acc")
+	acc := b.RegN(nAcc)
+	coef := b.RegN(4)
+	x := b.Reg()
+	ptr := b.Reg()
+	for i := 0; i < nAcc; i++ {
+		b.IMovImm(acc[i], int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		b.IMovImm(coef[i], int64(i+100))
+	}
+	b.IMovImm(ptr, 0)
+	b.Loop(iters, func() {
+		b.LdGlobal(x, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 2 << 20})
+		for i := 0; i < nAcc; i++ {
+			b.FFMA(acc[i], x, coef[i%4], acc[i])
+		}
+		b.StGlobal(ptr, acc[nAcc-1], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 2 << 20})
+		b.IAddImm(ptr, ptr, 4)
+	})
+	return b.MustBuild()
+}
+
+func TestDebugAcc(t *testing.T) {
+	if os.Getenv("LTRF_DEBUG") == "" {
+		t.Skip("set LTRF_DEBUG=1")
+	}
+	p := accKernel(20, 16)
+	for _, d := range []Design{DesignBL, DesignRFC, DesignSHRF, DesignLTRF, DesignLTRFPlus, DesignLTRFStrand, DesignIdeal} {
+		for _, x := range []float64{1.0, 3.0, 6.3} {
+			res := run(t, cfgAt(d, x), p)
+			fmt.Printf("%-12s x%.1f IPC=%.3f cyc=%-7d ins=%-6d hit=%.3f mainR=%-6d mainW=%-6d pf=%-5d pfRegs=%-6d act=%-5d deact=%-5d wb=%-6d stall=%-7d units=%d\n",
+				d, x, res.IPC, res.Cycles, res.Instrs, res.RF.ReadHitRate(), res.RF.MainReads, res.RF.MainWrites,
+				res.RF.Prefetches, res.RF.PrefetchRegs, res.Activations, res.Deactivations, res.RF.WritebackRegs, res.PrefetchStallCycles, res.PrefetchUnits)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ltrf/internal/isa"
+)
+
+// TestDebugDump prints per-design counters for the calibration kernels when
+// LTRF_DEBUG=1. It asserts nothing; it exists to make simulator behavior
+// inspectable during development and review.
+func TestDebugDump(t *testing.T) {
+	if os.Getenv("LTRF_DEBUG") == "" {
+		t.Skip("set LTRF_DEBUG=1 to dump design stats")
+	}
+	kernels := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"tiled", tiledKernel(8, 8)},
+		{"rotating", rotatingKernel(3, 8, 6)},
+		{"stream", streamKernel(12, 40)},
+		{"hungry", hungryKernel(48, 16)},
+	}
+	for _, k := range kernels {
+		for _, d := range []Design{DesignBL, DesignRFC, DesignSHRF, DesignLTRF, DesignLTRFPlus, DesignLTRFStrand, DesignIdeal} {
+			for _, x := range []float64{1.0, 6.3} {
+				res := run(t, cfgAt(d, x), k.prog)
+				fmt.Printf("%-9s %-12s x%.1f IPC=%.3f cyc=%-7d ins=%-6d w=%-2d hit=%.3f mainR=%-6d mainW=%-6d pf=%-5d pfRegs=%-6d act=%-5d deact=%-5d wb=%-6d stall=%-7d units=%d\n",
+					k.name, d, x, res.IPC, res.Cycles, res.Instrs, res.Warps, res.RF.ReadHitRate(), res.RF.MainReads, res.RF.MainWrites,
+					res.RF.Prefetches, res.RF.PrefetchRegs, res.Activations, res.Deactivations, res.RF.WritebackRegs, res.PrefetchStallCycles, res.PrefetchUnits)
+			}
+		}
+	}
+}

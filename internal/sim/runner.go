@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+
+	"ltrf/internal/cfg"
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+	"ltrf/internal/liveness"
+	"ltrf/internal/memsys"
+	"ltrf/internal/memtech"
+	"ltrf/internal/regalloc"
+	"ltrf/internal/regfile"
+)
+
+// Result is the outcome of Run.
+type Result struct {
+	Stats
+	Design   Design
+	Config   Config
+	Kernel   string
+	Demand   int // unconstrained per-thread register demand
+	Capacity int // effective main RF capacity in KB
+}
+
+// bytesPerWarpReg is the storage of one warp-register: 32 threads x 4 bytes.
+const bytesPerWarpReg = 128
+
+// Occupancy computes the maxregcount-style occupancy decision for a kernel
+// with unconstrained register demand `demand` on a register file of capB
+// bytes: the per-thread register cap and the resident warp count. When the
+// natural demand would leave fewer than minWarps resident, the register
+// count is capped (forcing spills) to restore occupancy, mirroring how CUDA
+// programmers use -maxregcount (§2.1).
+func Occupancy(demand, capB, maxWarps, minWarps int) (regCap, warps int) {
+	regCap = demand
+	if regCap > isa.MaxArchRegs {
+		regCap = isa.MaxArchRegs
+	}
+	if regCap < 8 {
+		regCap = 8
+	}
+	warps = capB / (regCap * bytesPerWarpReg)
+	if warps < minWarps {
+		// Cap registers to reach minWarps occupancy.
+		regCap = capB / (minWarps * bytesPerWarpReg)
+		if regCap > isa.MaxArchRegs {
+			regCap = isa.MaxArchRegs
+		}
+		if regCap < 8 {
+			regCap = 8
+		}
+		warps = capB / (regCap * bytesPerWarpReg)
+	}
+	if warps > maxWarps {
+		warps = maxWarps
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	return regCap, warps
+}
+
+// Compile lowers a (possibly virtual-register) kernel for a configuration:
+// register allocation under the occupancy-derived cap, dead-bit annotation,
+// and prefetch-unit formation where the design requires it.
+func Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Partition, demand, warps int, spills int, err error) {
+	// Occupancy is driven by the registers the compiler actually allocates
+	// (linear-scan pressure), not the tighter max-live bound: allocating at
+	// max-live would inject spill code even with no capacity cap.
+	demand, err = regalloc.Pressure(virtual)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	capB := c.EffectiveCapacityKB() * 1024
+	regCap, warps := Occupancy(demand, capB, c.MaxWarps, c.ActiveWarps)
+
+	prog, ast, err := allocateWithCap(virtual, regCap)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	spills = ast.SpilledRegs
+
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	liveness.Analyze(g).AnnotateDeadBits()
+
+	if c.Design.NeedsUnits() {
+		if c.Design.UsesStrands() {
+			part, err = core.FormStrands(prog, c.RegsPerInterval)
+		} else {
+			part, err = core.FormRegisterIntervals(prog, c.RegsPerInterval)
+		}
+		if err != nil {
+			return nil, nil, 0, 0, 0, err
+		}
+	}
+	return prog, part, demand, warps, spills, nil
+}
+
+func allocateWithCap(virtual *isa.Program, regCap int) (*isa.Program, regalloc.Stats, error) {
+	prog, st, err := regalloc.Allocate(virtual, regCap)
+	if err != nil {
+		return nil, regalloc.Stats{}, err
+	}
+	return prog, st, nil
+}
+
+// buildSubsystem constructs the register-file design under test.
+func buildSubsystem(c *Config) (regfile.Subsystem, error) {
+	rfCfg := regfile.FromTech(c.Tech, c.LatencyX, c.RegsPerInterval)
+	if c.Design == DesignIdeal {
+		// Ideal keeps the studied technology's CAPACITY (via occupancy)
+		// but accesses at the baseline SRAM's timing with no multiplier —
+		// "the same capacity ... but also the same latency as the baseline
+		// register file" (§2.2).
+		rfCfg = regfile.FromTech(memtech.MustConfig(1), 1.0, c.RegsPerInterval)
+	}
+	if c.WideXbar {
+		rfCfg.XbarCyclesPerReg = 1
+	}
+	if err := rfCfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch c.Design {
+	case DesignBL:
+		return regfile.NewBL(rfCfg), nil
+	case DesignIdeal:
+		return regfile.NewIdeal(rfCfg), nil
+	case DesignRFC:
+		return regfile.NewRFC(rfCfg), nil
+	case DesignSHRF:
+		return regfile.NewSHRF(rfCfg), nil
+	case DesignLTRF, DesignLTRFStrand:
+		return regfile.NewLTRF(rfCfg, false), nil
+	case DesignLTRFPlus:
+		return regfile.NewLTRF(rfCfg, true), nil
+	}
+	return nil, fmt.Errorf("sim: unknown design %v", c.Design)
+}
+
+// Run simulates one kernel under one configuration and returns the result.
+// The kernel may use virtual registers; Run performs the maxregcount-style
+// allocation for the configuration's register file capacity.
+func Run(c Config, virtual *isa.Program) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	prog, part, demand, warps, spills, err := Compile(&c, virtual)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := buildSubsystem(&c)
+	if err != nil {
+		return nil, err
+	}
+	mem := memsys.NewHierarchy(c.Mem)
+
+	// Table 3: the simulated system uses the two-level scheduler [19, 53]
+	// for every design, including the BL baseline. FlatScheduler is the
+	// ablation knob that makes all resident warps schedulable.
+	activeCap := c.ActiveWarps
+	if c.FlatScheduler {
+		activeCap = warps
+	}
+	if activeCap > warps {
+		activeCap = warps
+	}
+
+	sm := newSM(&c, prog, part, rf, mem, warps, activeCap, 0)
+	st := sm.run()
+	st.Warps = warps
+	st.RegsPerThread = prog.RegCount()
+	st.SpilledRegs = spills
+
+	return &Result{
+		Stats:    st,
+		Design:   c.Design,
+		Config:   c,
+		Kernel:   virtual.Name,
+		Demand:   demand,
+		Capacity: c.EffectiveCapacityKB(),
+	}, nil
+}

@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
+	"ltrf/internal/regfile"
+)
+
+// Stats is the outcome of one simulation.
+type Stats struct {
+	Cycles int64
+	Instrs int64 // dynamic instructions retired (PREFETCH pseudo-ops excluded)
+	IPC    float64
+
+	Activations         int64 // warp activations (two-level scheduler)
+	Deactivations       int64
+	PrefetchStallCycles int64 // cycles warps spent stalled on PREFETCH
+	BarrierReleases     int64
+
+	RF  regfile.Stats // register subsystem counters (copied at end)
+	Mem struct {
+		L1HitRate    float64
+		L2HitRate    float64
+		DRAMRowHit   float64
+		GlobalLoads  int64
+		GlobalStores int64
+	}
+
+	Warps         int // resident warps the capacity allowed
+	RegsPerThread int // architectural registers per thread after allocation
+	SpilledRegs   int // registers spilled by maxregcount-style allocation
+	PrefetchUnits int // units in the partition (0 when not applicable)
+	Finished      bool
+
+	deactByPC map[int]int64 // diagnostic: deactivations per blocking PC
+}
+
+// SM is one streaming multiprocessor executing a kernel to completion.
+type SM struct {
+	cfg  *Config
+	prog *isa.Program
+	part *core.Partition // nil unless the design needs prefetch units
+	rf   regfile.Subsystem
+	mem  *memsys.Hierarchy
+
+	warps     []*Warp
+	active    []int // warp IDs in the active scheduling set
+	inactive  []int // FIFO of inactive warp IDs
+	activeCap int
+
+	cycle  int64
+	instrs int64
+	rr     int
+
+	// collectors[i] is the cycle collector unit i frees up. An issuing
+	// instruction with register sources claims the first free collector
+	// and holds it until its operand reads complete.
+	collectors []int64
+
+	barrierCount int
+	srcBuf       []isa.Reg
+
+	st Stats
+}
+
+// newSM wires an SM together. nWarps warps all start inactive and ready.
+// warpIDBase offsets global warp identities so that SMs of a multi-SM GPU
+// generate distinct memory address streams (grid-style work distribution).
+func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subsystem, mem *memsys.Hierarchy, nWarps, activeCap, warpIDBase int) *SM {
+	sm := &SM{
+		cfg: cfg, prog: prog, part: part, rf: rf, mem: mem,
+		activeCap:  activeCap,
+		collectors: make([]int64, cfg.Collectors),
+	}
+	nregs := prog.RegCount()
+	if nregs == 0 {
+		nregs = 1
+	}
+	for i := 0; i < nWarps; i++ {
+		w := newWarp(warpIDBase+i, len(prog.Instrs), nregs, cfg.RegsPerInterval, cfg.Seed+uint64(warpIDBase+i))
+		w.local = i
+		sm.warps = append(sm.warps, w)
+		sm.inactive = append(sm.inactive, i)
+	}
+	return sm
+}
+
+// run executes the kernel until all warps finish or a budget is exhausted.
+func (sm *SM) run() Stats {
+	for sm.step() {
+	}
+	return sm.finalize()
+}
+
+// step advances the SM by one cycle, returning false when the kernel has
+// finished or a budget is exhausted. The GPU top level steps several SMs in
+// lockstep so shared L2/DRAM contention is interleaved correctly.
+func (sm *SM) step() bool {
+	if sm.cycle >= sm.cfg.MaxCycles || sm.instrs >= sm.cfg.MaxInstrs || sm.allFinished() {
+		return false
+	}
+	sm.refillActive()
+	sm.issueCycle()
+	sm.cycle++
+	return true
+}
+
+// finalize computes the result statistics.
+func (sm *SM) finalize() Stats {
+	sm.st.Cycles = sm.cycle
+	sm.st.Instrs = sm.instrs
+	if sm.cycle > 0 {
+		sm.st.IPC = float64(sm.instrs) / float64(sm.cycle)
+	}
+	sm.st.RF = *sm.rf.Stats()
+	sm.st.Mem.L1HitRate = sm.mem.L1D.Stats.HitRate()
+	sm.st.Mem.L2HitRate = sm.mem.L2.Stats.HitRate()
+	sm.st.Mem.DRAMRowHit = sm.mem.DRAM.RowHitRate()
+	sm.st.Mem.GlobalLoads = sm.mem.GlobalLoads
+	sm.st.Mem.GlobalStores = sm.mem.GlobalStores
+	sm.st.Finished = sm.allFinished()
+	if sm.part != nil {
+		sm.st.PrefetchUnits = sm.part.NumUnits()
+	}
+	return sm.st
+}
+
+func (sm *SM) allFinished() bool {
+	for _, w := range sm.warps {
+		if w.state != stateFinished {
+			return false
+		}
+	}
+	return true
+}
+
+// refillActive fills free active slots from the inactive pool. Ready warps
+// (blocking operand arrived) are preferred in FIFO order; if none is ready
+// but slots would idle, the warp closest to readiness is activated eagerly
+// so that its register refetch (OnActivate) overlaps the remainder of its
+// memory wait — the activation-latency hiding §3.2 relies on ("inactive
+// warps still maintain live state in the main register file, and thus can
+// be quickly activated").
+func (sm *SM) refillActive() {
+	for len(sm.active) < sm.activeCap {
+		picked := -1
+		for qi, wid := range sm.inactive {
+			w := sm.warps[wid]
+			if w.state != stateInactive || w.blockedUntil > sm.cycle {
+				continue
+			}
+			picked = qi
+			break
+		}
+		if picked == -1 {
+			// No warp is ready: eagerly activate the one that will be
+			// ready soonest rather than leaving the slot idle.
+			var best int64
+			for qi, wid := range sm.inactive {
+				w := sm.warps[wid]
+				if w.state != stateInactive {
+					continue
+				}
+				if picked == -1 || w.blockedUntil < best {
+					picked = qi
+					best = w.blockedUntil
+				}
+			}
+			if picked == -1 {
+				return
+			}
+		}
+		wid := sm.inactive[picked]
+		sm.inactive = append(sm.inactive[:picked], sm.inactive[picked+1:]...)
+		w := sm.warps[wid]
+		w.state = stateActive
+		ready := sm.rf.OnActivate(sm.cycle, w.Regs)
+		if ready > w.readyAt {
+			w.readyAt = ready
+		}
+		sm.st.Activations++
+		sm.active = append(sm.active, wid)
+	}
+}
+
+// issueCycle scans the active warps round-robin and issues up to IssueWidth
+// instructions. Warps blocked on a long-latency operand are descheduled
+// (two-level scheduling); warps at prefetch-unit boundaries execute their
+// PREFETCH instead of issuing.
+func (sm *SM) issueCycle() {
+	n := len(sm.active)
+	if n == 0 {
+		return
+	}
+	issued := 0
+	var toRemove []int // indices into sm.active
+
+	for k := 0; k < n && issued < sm.cfg.IssueWidth; k++ {
+		idx := (sm.rr + k) % n
+		wid := sm.active[idx]
+		w := sm.warps[wid]
+		if w.state != stateActive {
+			continue
+		}
+		if w.readyAt > sm.cycle {
+			continue
+		}
+		in := &sm.prog.Instrs[w.pc]
+
+		// PREFETCH at unit boundary.
+		if sm.part != nil {
+			if uid := sm.part.UnitID(w.pc); uid != w.Regs.CurUnit {
+				stall := sm.rf.OnUnitEnter(sm.cycle, w.Regs, uid, sm.part.Units[uid].WorkingSet)
+				if stall <= sm.cycle {
+					stall = sm.cycle + 1
+				}
+				sm.st.PrefetchStallCycles += stall - sm.cycle
+				w.readyAt = stall
+				continue
+			}
+		}
+
+		// Scoreboard. A warp blocked on a load result for longer than the
+		// threshold (i.e. a data-cache miss, not an L1 hit or ALU chain)
+		// is descheduled by the two-level scheduler — but only when some
+		// inactive warp could make use of the slot sooner, so eagerly
+		// activated warps are not bounced straight back (swap churn).
+		if ready, onLoad := w.operandsReadyAt(in, sm.cycle); ready > sm.cycle {
+			if sm.twoLevel() && onLoad && ready-sm.cycle >= sm.cfg.DeactivateThreshold &&
+				sm.hasEarlierCandidate(ready) {
+				sm.deactivate(w, ready)
+				toRemove = append(toRemove, idx)
+			}
+			continue
+		}
+
+		// Structural hazard: instructions with register sources need a
+		// free operand collector.
+		if needsCollector(in) && sm.freeCollector() == -1 {
+			continue
+		}
+
+		// Barrier.
+		if in.Op == isa.OpBar {
+			w.advance(in)
+			w.retired++
+			sm.instrs++
+			w.state = stateBarrier
+			sm.barrierCount++
+			toRemove = append(toRemove, idx)
+			sm.maybeReleaseBarrier()
+			issued++
+			continue
+		}
+
+		sm.issueInstr(w, in)
+		issued++
+		if w.state == stateFinished {
+			w.Regs.Reset(sm.cfg.RegsPerInterval)
+			toRemove = append(toRemove, idx)
+			sm.maybeReleaseBarrier()
+		}
+	}
+
+	if len(toRemove) > 0 {
+		sm.removeActive(toRemove)
+	}
+	// Greedy-then-oldest arbitration: keep priority on the current warp
+	// while it issues (issued > 0 keeps rr), advance otherwise. Greedy
+	// priority staggers the warps' progress through the kernel, which is
+	// what lets one warp's PREFETCH overlap other warps' execution instead
+	// of all warps reaching their PREFETCH in lockstep.
+	if len(sm.active) == 0 {
+		sm.rr = 0
+	} else if issued == 0 {
+		sm.rr = (sm.rr + 1) % len(sm.active)
+	} else {
+		sm.rr = sm.rr % len(sm.active)
+	}
+}
+
+// twoLevel reports whether the scheduler swaps blocked warps out.
+func (sm *SM) twoLevel() bool {
+	return !sm.cfg.FlatScheduler && sm.activeCap < len(sm.warps)
+}
+
+// freeCollector returns the index of an operand collector free at the
+// current cycle, or -1.
+func (sm *SM) freeCollector() int {
+	for i, busy := range sm.collectors {
+		if busy <= sm.cycle {
+			return i
+		}
+	}
+	return -1
+}
+
+func needsCollector(in *isa.Instr) bool {
+	n := in.Op.NumSrcSlots()
+	for s := 0; s < n; s++ {
+		if in.Src[s].Valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEarlierCandidate reports whether some inactive warp will be ready to
+// issue before `ready` — i.e. swapping the blocked warp out would buy time.
+func (sm *SM) hasEarlierCandidate(ready int64) bool {
+	for _, wid := range sm.inactive {
+		w := sm.warps[wid]
+		if w.state == stateInactive && w.blockedUntil < ready {
+			return true
+		}
+	}
+	return false
+}
+
+func (sm *SM) deactivate(w *Warp, blockedUntil int64) {
+	w.state = stateInactive
+	w.blockedUntil = blockedUntil
+	sm.rf.OnDeactivate(sm.cycle, w.Regs)
+	sm.inactive = append(sm.inactive, w.local)
+	sm.st.Deactivations++
+	if sm.st.deactByPC == nil {
+		sm.st.deactByPC = map[int]int64{}
+	}
+	sm.st.deactByPC[w.pc]++
+}
+
+// removeActive deletes the given indices from the active list, preserving
+// the order of the remaining entries.
+func (sm *SM) removeActive(indices []int) {
+	drop := map[int]bool{}
+	for _, i := range indices {
+		drop[i] = true
+	}
+	out := sm.active[:0]
+	for i, wid := range sm.active {
+		if !drop[i] {
+			out = append(out, wid)
+		}
+	}
+	sm.active = out
+}
+
+// maybeReleaseBarrier releases all barrier-waiting warps once every
+// non-finished warp has arrived.
+func (sm *SM) maybeReleaseBarrier() {
+	if sm.barrierCount == 0 {
+		return
+	}
+	waitingOrDone := 0
+	for _, w := range sm.warps {
+		if w.state == stateBarrier || w.state == stateFinished {
+			waitingOrDone++
+		}
+	}
+	if waitingOrDone != len(sm.warps) {
+		return
+	}
+	for _, w := range sm.warps {
+		if w.state == stateBarrier {
+			w.state = stateInactive
+			w.blockedUntil = sm.cycle + 1
+			sm.inactive = append(sm.inactive, w.local)
+		}
+	}
+	sm.barrierCount = 0
+	sm.st.BarrierReleases++
+}
+
+// issueInstr models one instruction's timing: operand collection through the
+// register subsystem, execution or memory access, and result write-back.
+func (sm *SM) issueInstr(w *Warp, in *isa.Instr) {
+	sm.srcBuf = sm.srcBuf[:0]
+	nsrc := in.Op.NumSrcSlots()
+	for s := 0; s < nsrc; s++ {
+		if r := in.Src[s]; r.Valid() {
+			sm.srcBuf = append(sm.srcBuf, r)
+		}
+	}
+
+	opReady := sm.cycle
+	if len(sm.srcBuf) > 0 {
+		opReady = sm.rf.ReadOperands(sm.cycle, w.Regs, sm.srcBuf)
+		// The instruction occupies an operand collector until all its
+		// operands have been gathered.
+		if c := sm.freeCollector(); c != -1 {
+			sm.collectors[c] = opReady
+		}
+	}
+
+	var execDone int64
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		execDone = opReady + int64(sm.cfg.ALULat)
+	case isa.ClassSFU:
+		execDone = opReady + int64(sm.cfg.SFULat)
+	case isa.ClassMem:
+		iter := w.memIter[w.pc]
+		w.memIter[w.pc]++
+		done, _ := sm.mem.Access(opReady, in, w.ID, int64(iter))
+		if in.Op.IsStore() {
+			execDone = opReady + 1 // stores retire via the store queue
+		} else {
+			execDone = done
+		}
+	default: // control, nop
+		execDone = opReady + 1
+	}
+
+	if in.Op.WritesDst() && in.Dst.Valid() {
+		// WriteResult charges resources at issue time (monotone) and
+		// returns the write latency added to the execution completion.
+		writeLat := sm.rf.WriteResult(sm.cycle, w.Regs, in.Dst)
+		w.regReady[in.Dst] = execDone + writeLat
+		w.loadDest[in.Dst] = in.Op.IsLoad()
+	}
+
+	w.updateLiveness(in)
+	w.advance(in)
+	w.retired++
+	sm.instrs++
+	w.readyAt = sm.cycle + 1
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"ltrf/internal/isa"
+	"ltrf/internal/regfile"
+)
+
+// warpState enumerates a warp's scheduling state.
+type warpState uint8
+
+const (
+	stateActive warpState = iota
+	stateInactive
+	stateBarrier
+	stateFinished
+)
+
+// Warp is one resident warp context. ID is the global warp identity (used
+// for memory address generation and bank mapping); local is the warp's
+// index within its SM's warps slice (used by the scheduler queues).
+type Warp struct {
+	ID    int
+	local int
+	Regs  *regfile.WarpRegs
+
+	pc           int
+	state        warpState
+	readyAt      int64 // earliest cycle the warp may issue (prefetch stalls etc.)
+	blockedUntil int64 // for inactive warps: when the blocking operand arrives
+
+	regReady []int64 // scoreboard: per-register availability
+	loadDest []bool  // register was produced by an in-flight load
+	iterCnt  []int32 // per counted-branch iteration counters
+	memIter  []int32 // per memory-instruction execution counters
+
+	rng     uint64
+	retired int64
+}
+
+func newWarp(id int, progLen, nregs int, cacheBanks int, seed uint64) *Warp {
+	w := &Warp{
+		ID:       id,
+		Regs:     regfile.NewWarpRegs(id, cacheBanks),
+		regReady: make([]int64, nregs),
+		loadDest: make([]bool, nregs),
+		iterCnt:  make([]int32, progLen),
+		memIter:  make([]int32, progLen),
+		rng:      seed*0x9E3779B97F4A7C15 + 0xDEADBEEF | 1,
+		state:    stateInactive,
+	}
+	return w
+}
+
+// rand01 returns a deterministic pseudo-random float in [0,1).
+func (w *Warp) rand01() float64 {
+	w.rng ^= w.rng >> 12
+	w.rng ^= w.rng << 25
+	w.rng ^= w.rng >> 27
+	return float64((w.rng*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+}
+
+// operandsReadyAt returns the cycle at which all of the instruction's
+// scoreboard dependencies (sources plus WAW on the destination) are
+// satisfied, and whether any still-pending dependency was produced by a
+// memory load (the two-level scheduler's descheduling trigger: "Whenever a
+// warp encounters a long latency operation, such as a data cache miss",
+// §3.2).
+func (w *Warp) operandsReadyAt(in *isa.Instr, now int64) (ready int64, blockedOnLoad bool) {
+	t := int64(0)
+	check := func(r isa.Reg) {
+		rt := w.regReady[r]
+		if rt > t {
+			t = rt
+		}
+		if rt > now && w.loadDest[r] {
+			blockedOnLoad = true
+		}
+	}
+	n := in.Op.NumSrcSlots()
+	for s := 0; s < n; s++ {
+		if r := in.Src[s]; r.Valid() {
+			check(r)
+		}
+	}
+	if in.Op.WritesDst() && in.Dst.Valid() {
+		check(in.Dst)
+	}
+	return t, blockedOnLoad
+}
+
+// advance moves the warp's PC past the instruction at pc, resolving
+// branches: counted loop branches use their trip counters, probabilistic
+// branches use the warp's deterministic RNG.
+func (w *Warp) advance(in *isa.Instr) {
+	switch in.Op {
+	case isa.OpBra:
+		w.pc = in.Target
+	case isa.OpBraCond:
+		if in.Trip > 0 {
+			w.iterCnt[w.pc]++
+			if int(w.iterCnt[w.pc]) < in.Trip {
+				w.pc = in.Target
+			} else {
+				w.iterCnt[w.pc] = 0
+				w.pc++
+			}
+		} else if w.rand01() < in.TakenProb {
+			w.pc = in.Target
+		} else {
+			w.pc++
+		}
+	case isa.OpExit:
+		w.state = stateFinished
+	default:
+		w.pc++
+	}
+}
+
+// updateLiveness applies the compile-time dead-operand bits and the
+// write-makes-live rule to the warp's runtime liveness bit-vector (§3.2).
+func (w *Warp) updateLiveness(in *isa.Instr) {
+	n := in.Op.NumSrcSlots()
+	for s := 0; s < n; s++ {
+		r := in.Src[s]
+		if r.Valid() && in.DeadAfter[s] {
+			w.Regs.Live.Clear(int(r))
+		}
+	}
+	if in.Op.WritesDst() && in.Dst.Valid() {
+		w.Regs.Live.Set(int(in.Dst))
+	}
+}

@@ -1,0 +1,48 @@
+package workloads
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ltrf/internal/regalloc"
+)
+
+// TestCalibrationDump prints per-workload register pressure at both
+// compiler eras (LTRF_DEBUG=1), used to calibrate Table 1.
+func TestCalibrationDump(t *testing.T) {
+	if os.Getenv("LTRF_DEBUG") == "" {
+		t.Skip("set LTRF_DEBUG=1")
+	}
+	min64 := func(v, c int) int {
+		if v > c {
+			return c
+		}
+		return v
+	}
+	var sum1, sum2, max1, max2 int
+	for _, w := range All() {
+		p1, _ := regalloc.Pressure(w.Build(UnrollFermi))
+		p2, _ := regalloc.Pressure(w.Build(UnrollMaxwell))
+		c1, c2 := min64(p1, 64), min64(p2, 256)
+		sum1 += c1
+		sum2 += c2
+		if c1 > max1 {
+			max1 = c1
+		}
+		if c2 > max2 {
+			max2 = c2
+		}
+		sens := " "
+		if w.Sensitive {
+			sens = "S"
+		}
+		fmt.Printf("%-14s %s fermi=%3d maxwell=%3d\n", w.Name, sens, c1, c2)
+	}
+	n := len(All())
+	// Required RF bytes = regs x threads x 4B (Fermi 1536 thr, Maxwell 2048).
+	fmt.Printf("fermi  avg=%5.1f regs -> %6.1fKB (paper 184KB) max=%3d -> %6.1fKB (paper 324KB)\n",
+		float64(sum1)/float64(n), float64(sum1)/float64(n)*1536*4/1024, max1, float64(max1)*1536*4/1024)
+	fmt.Printf("maxwell avg=%5.1f regs -> %6.1fKB (paper 588KB) max=%3d -> %6.1fKB (paper 1504KB)\n",
+		float64(sum2)/float64(n), float64(sum2)/float64(n)*2048*4/1024, max2, float64(max2)*2048*4/1024)
+}

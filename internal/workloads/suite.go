@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"ltrf/internal/isa"
+)
+
+// Suite identifies the benchmark suite a workload models.
+type Suite string
+
+// Benchmark suites of §5.
+const (
+	CUDASDK Suite = "CUDA SDK"
+	Rodinia Suite = "Rodinia"
+	Parboil Suite = "Parboil"
+)
+
+// Workload is one synthetic benchmark kernel.
+type Workload struct {
+	Name  string
+	Suite Suite
+	// Sensitive marks register-sensitive workloads: kernels whose
+	// achievable TLP is limited by register file capacity (§5).
+	Sensitive bool
+	// Eval marks membership in the paper's 14-workload evaluation subset
+	// (nine register-sensitive + five register-insensitive, §5).
+	Eval bool
+
+	build func(unroll int) *isa.Program
+}
+
+// Compiler-era unroll factors (see package comment and Table 1).
+const (
+	UnrollFermi   = 1 // older nvcc: little unrolling
+	UnrollMaxwell = 3 // newer nvcc: aggressive unrolling
+)
+
+// Build constructs the kernel with the given unroll factor. The returned
+// program uses virtual registers; register allocation happens per
+// simulation configuration (sim.Compile).
+func (w Workload) Build(unroll int) *isa.Program {
+	return w.build(unroll)
+}
+
+var all = []Workload{
+	// --- Register-insensitive (15) ---
+	{Name: "vectoradd", Suite: CUDASDK, Eval: true,
+		build: buildStream("vectoradd", streamParams{iters: 80, fp: mb(8), pattern: isa.PatCoalesced, compute: 2})},
+	{Name: "transpose", Suite: CUDASDK,
+		build: buildStrided("transpose", stridedParams{iters: 50, stride: 128, fp: mb(4), compute: 1})},
+	{Name: "reduction", Suite: CUDASDK,
+		build: buildShared("reduction", sharedParams{iters: 20, stages: 2, fp: mb(4)})},
+	{Name: "scan", Suite: CUDASDK,
+		build: buildShared("scan", sharedParams{iters: 20, stages: 3, fp: mb(4)})},
+	{Name: "histogram", Suite: CUDASDK,
+		build: buildDivergent("histogram", divergentParams{iters: 40, fp: mb(1), branchP: 0.5, depth: 1})},
+	{Name: "mergesort", Suite: CUDASDK,
+		build: buildDivergent("mergesort", divergentParams{iters: 30, fp: mb(2), branchP: 0.5, depth: 2})},
+	{Name: "bfs", Suite: Rodinia, Eval: true,
+		build: buildDivergent("bfs", divergentParams{iters: 30, fp: mb(16), branchP: 0.3, depth: 2})},
+	{Name: "btree", Suite: Rodinia, Eval: true,
+		build: buildDivergent("btree", divergentParams{iters: 25, fp: mb(8), branchP: 0.5, depth: 3})},
+	{Name: "kmeans", Suite: Rodinia, Eval: true,
+		build: buildStream("kmeans", streamParams{iters: 60, fp: mb(4), pattern: isa.PatCoalesced, compute: 6})},
+	{Name: "nn", Suite: Rodinia,
+		build: buildDivergent("nn", divergentParams{iters: 40, fp: mb(4), branchP: 0.4, depth: 1})},
+	{Name: "nw", Suite: Rodinia,
+		build: buildShared("nw", sharedParams{iters: 16, stages: 2, fp: mb(2)})},
+	{Name: "pathfinder", Suite: Rodinia, Eval: true,
+		build: buildShared("pathfinder", sharedParams{iters: 20, stages: 1, fp: mb(4)})},
+	{Name: "histo", Suite: Parboil,
+		build: buildDivergent("histo", divergentParams{iters: 40, fp: mb(1), branchP: 0.6, depth: 1})},
+	{Name: "spmv", Suite: Parboil,
+		build: buildDivergent("spmv", divergentParams{iters: 40, fp: mb(8), branchP: 0.2, depth: 2})},
+	{Name: "bfs-p", Suite: Parboil,
+		build: buildDivergent("bfs-p", divergentParams{iters: 30, fp: mb(16), branchP: 0.3, depth: 2})},
+
+	// --- Register-sensitive (20) ---
+	{Name: "matrixmul", Suite: CUDASDK, Sensitive: true,
+		build: buildTiled("matrixmul", tiledParams{phases: 3, accs: 10, coefs: 4, inner: 8, outer: 6, fp: mb(4)})},
+	{Name: "blackscholes", Suite: CUDASDK, Sensitive: true,
+		build: buildSFU("blackscholes", sfuParams{state: 28, iters: 10, ops: 2, fp: mb(2)})},
+	{Name: "backprop", Suite: Rodinia, Sensitive: true,
+		build: buildTiled("backprop", tiledParams{phases: 3, accs: 10, coefs: 4, inner: 8, outer: 6, fp: mb(4)})},
+	{Name: "cfd", Suite: Rodinia, Sensitive: true,
+		build: buildTiled("cfd", tiledParams{phases: 4, accs: 10, coefs: 4, inner: 6, outer: 5, fp: mb(8)})},
+	{Name: "gaussian", Suite: Rodinia, Sensitive: true,
+		build: buildTiled("gaussian", tiledParams{phases: 2, accs: 10, coefs: 4, inner: 8, outer: 8, fp: mb(2)})},
+	{Name: "heartwall", Suite: Rodinia, Sensitive: true, Eval: true,
+		build: buildTiled("heartwall", tiledParams{phases: 5, accs: 10, coefs: 4, inner: 6, outer: 5, fp: mb(4)})},
+	{Name: "hotspot", Suite: Rodinia, Sensitive: true, Eval: true,
+		build: buildTiled("hotspot", tiledParams{phases: 3, accs: 10, coefs: 6, inner: 8, outer: 6, fp: mb(4)})},
+	{Name: "lavamd", Suite: Rodinia, Sensitive: true,
+		build: buildTiled("lavamd", tiledParams{phases: 4, accs: 9, coefs: 4, inner: 6, outer: 5, fp: mb(4), sfu: 2})},
+	{Name: "leukocyte", Suite: Rodinia, Sensitive: true, Eval: true,
+		build: buildTiled("leukocyte", tiledParams{phases: 4, accs: 10, coefs: 4, inner: 8, outer: 5, fp: mb(4)})},
+	{Name: "lud", Suite: Rodinia, Sensitive: true,
+		build: buildTiled("lud", tiledParams{phases: 3, accs: 10, coefs: 4, inner: 8, outer: 6, fp: mb(2)})},
+	{Name: "myocyte", Suite: Rodinia, Sensitive: true,
+		build: buildSFU("myocyte", sfuParams{state: 44, iters: 6, ops: 2, fp: mb(1)})},
+	{Name: "srad", Suite: Rodinia, Sensitive: true, Eval: true,
+		build: buildTiled("srad", tiledParams{phases: 4, accs: 9, coefs: 4, inner: 8, outer: 6, fp: mb(4), divP: 0.3})},
+	{Name: "cutcp", Suite: Parboil, Sensitive: true, Eval: true,
+		build: buildTiled("cutcp", tiledParams{phases: 4, accs: 10, coefs: 4, inner: 8, outer: 5, fp: mb(4), sfu: 1})},
+	{Name: "lbm", Suite: Parboil, Sensitive: true, Eval: true,
+		build: buildTiled("lbm", tiledParams{phases: 5, accs: 10, coefs: 4, inner: 4, outer: 5, fp: mb(8)})},
+	{Name: "mri-gridding", Suite: Parboil, Sensitive: true,
+		build: buildTiled("mri-gridding", tiledParams{phases: 4, accs: 9, coefs: 4, inner: 6, outer: 5, fp: mb(4), sfu: 2})},
+	{Name: "mri-q", Suite: Parboil, Sensitive: true, Eval: true,
+		build: buildSFU("mri-q", sfuParams{state: 40, iters: 7, ops: 3, fp: mb(2)})},
+	{Name: "sad", Suite: Parboil, Sensitive: true,
+		build: buildTiled("sad", tiledParams{phases: 3, accs: 11, coefs: 4, inner: 8, outer: 6, fp: mb(4)})},
+	{Name: "sgemm", Suite: Parboil, Sensitive: true, Eval: true,
+		build: buildTiled("sgemm", tiledParams{phases: 4, accs: 13, coefs: 4, inner: 10, outer: 5, fp: mb(4)})},
+	{Name: "stencil", Suite: Parboil, Sensitive: true, Eval: true,
+		build: buildTiled("stencil", tiledParams{phases: 3, accs: 11, coefs: 6, inner: 8, outer: 6, fp: mb(4)})},
+	{Name: "tpacf", Suite: Parboil, Sensitive: true,
+		build: buildTiled("tpacf", tiledParams{phases: 3, accs: 10, coefs: 4, inner: 8, outer: 6, fp: mb(2), sfu: 1})},
+}
+
+// All returns the 35 workloads in deterministic order.
+func All() []Workload {
+	out := make([]Workload, len(all))
+	copy(out, all)
+	return out
+}
+
+// EvalSet returns the paper's 14-workload evaluation subset, insensitive
+// workloads first (matching the figures' left-to-right grouping).
+func EvalSet() []Workload {
+	var ins, sens []Workload
+	for _, w := range all {
+		if !w.Eval {
+			continue
+		}
+		if w.Sensitive {
+			sens = append(sens, w)
+		} else {
+			ins = append(ins, w)
+		}
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i].Name < ins[j].Name })
+	sort.Slice(sens, func(i, j int) bool { return sens[i].Name < sens[j].Name })
+	return append(ins, sens...)
+}
+
+// ByName looks a workload up.
+func ByName(name string) (Workload, error) {
+	for _, w := range all {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all workload names.
+func Names() []string {
+	out := make([]string, len(all))
+	for i, w := range all {
+		out[i] = w.Name
+	}
+	return out
+}

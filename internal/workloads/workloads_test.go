@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"testing"
+
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+	"ltrf/internal/regalloc"
+)
+
+func TestSuiteShape(t *testing.T) {
+	ws := All()
+	if len(ws) != 35 {
+		t.Fatalf("suite has %d workloads, want 35 (§5)", len(ws))
+	}
+	var sens, ins, eval int
+	suites := map[Suite]int{}
+	for _, w := range ws {
+		if w.Sensitive {
+			sens++
+		} else {
+			ins++
+		}
+		if w.Eval {
+			eval++
+		}
+		suites[w.Suite]++
+	}
+	if sens != 20 || ins != 15 {
+		t.Errorf("sensitive/insensitive = %d/%d, want 20/15", sens, ins)
+	}
+	if eval != 14 {
+		t.Errorf("eval subset = %d, want 14 (9 sensitive + 5 insensitive)", eval)
+	}
+	for _, s := range []Suite{CUDASDK, Rodinia, Parboil} {
+		if suites[s] == 0 {
+			t.Errorf("no workloads from %s", s)
+		}
+	}
+}
+
+func TestEvalSetComposition(t *testing.T) {
+	es := EvalSet()
+	if len(es) != 14 {
+		t.Fatalf("EvalSet = %d workloads, want 14", len(es))
+	}
+	var sens int
+	for _, w := range es {
+		if w.Sensitive {
+			sens++
+		}
+	}
+	if sens != 9 {
+		t.Errorf("eval sensitive = %d, want 9", sens)
+	}
+	// Insensitive first (figure ordering).
+	if es[0].Sensitive {
+		t.Error("EvalSet must list insensitive workloads first")
+	}
+	if !es[len(es)-1].Sensitive {
+		t.Error("EvalSet must list sensitive workloads last")
+	}
+}
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	for _, w := range All() {
+		for _, unroll := range []int{UnrollFermi, UnrollMaxwell, 3} {
+			p := w.Build(unroll)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s (unroll %d): %v", w.Name, unroll, err)
+			}
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(UnrollMaxwell)
+		b := w.Build(UnrollMaxwell)
+		if len(a.Instrs) != len(b.Instrs) {
+			t.Errorf("%s: nondeterministic build", w.Name)
+			continue
+		}
+		for i := range a.Instrs {
+			if a.Instrs[i].Op != b.Instrs[i].Op || a.Instrs[i].Dst != b.Instrs[i].Dst {
+				t.Errorf("%s: instruction %d differs between builds", w.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestUnrollRaisesPressure(t *testing.T) {
+	// Table 1's mechanism: the Maxwell-era compiler's unrolling raises
+	// per-thread register demand.
+	for _, w := range All() {
+		p1, err := regalloc.Pressure(w.Build(UnrollFermi))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		p2, err := regalloc.Pressure(w.Build(UnrollMaxwell))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if p2 < p1 {
+			t.Errorf("%s: unroll lowered pressure %d -> %d", w.Name, p1, p2)
+		}
+	}
+}
+
+func TestSensitiveWorkloadsHaveHigherPressure(t *testing.T) {
+	var sensSum, sensN, insSum, insN int
+	for _, w := range All() {
+		p, err := regalloc.Pressure(w.Build(UnrollMaxwell))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if w.Sensitive {
+			sensSum += p
+			sensN++
+		} else {
+			insSum += p
+			insN++
+		}
+	}
+	sensAvg := float64(sensSum) / float64(sensN)
+	insAvg := float64(insSum) / float64(insN)
+	if sensAvg <= insAvg*1.5 {
+		t.Errorf("sensitive avg pressure %.1f should clearly exceed insensitive %.1f", sensAvg, insAvg)
+	}
+	// Insensitive workloads must fit full occupancy on a 256KB RF:
+	// 256KB / (64 warps x 128B) = 32 registers per thread.
+	for _, w := range All() {
+		if w.Sensitive {
+			continue
+		}
+		p, _ := regalloc.Pressure(w.Build(UnrollMaxwell))
+		if p > 32 {
+			t.Errorf("%s: insensitive but needs %d regs (TLP-limited on 256KB)", w.Name, p)
+		}
+	}
+}
+
+func TestKernelsPartitionable(t *testing.T) {
+	// Every allocated kernel must form valid register-intervals and
+	// strands at the default budget.
+	for _, w := range All() {
+		virt := w.Build(UnrollMaxwell)
+		prog, _, err := regalloc.Allocate(virt, 255)
+		if err != nil {
+			t.Fatalf("%s: allocate: %v", w.Name, err)
+		}
+		if _, err := core.FormRegisterIntervals(prog, 16); err != nil {
+			t.Errorf("%s: intervals: %v", w.Name, err)
+		}
+		if _, err := core.FormStrands(prog, 16); err != nil {
+			t.Errorf("%s: strands: %v", w.Name, err)
+		}
+	}
+}
+
+func TestIntervalWorkingSetsMostlyFitBudget(t *testing.T) {
+	// Table 4's premise: the suite's register-intervals are long (~31
+	// dynamic instructions), which requires hot loops to mostly fit the
+	// 16-register budget. Check the static proxy: mean static instructions
+	// per interval comfortably above the strand mean.
+	var ivlStatic, strandStatic float64
+	for _, w := range All() {
+		virt := w.Build(UnrollMaxwell)
+		prog, _, err := regalloc.Allocate(virt, 255)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivl, err := core.FormRegisterIntervals(prog, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := core.FormStrands(prog, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivlStatic += ivl.Summary().MeanStatic
+		strandStatic += str.Summary().MeanStatic
+	}
+	if ivlStatic <= strandStatic {
+		t.Errorf("interval mean static length %.1f must exceed strand %.1f", ivlStatic/35, strandStatic/35)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("sgemm")
+	if err != nil || w.Name != "sgemm" || !w.Sensitive {
+		t.Errorf("ByName(sgemm) = %+v, %v", w, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown name must error")
+	}
+	if len(Names()) != 35 {
+		t.Error("Names must list 35 workloads")
+	}
+}
+
+func TestMemoryMetadataPresent(t *testing.T) {
+	for _, w := range All() {
+		p := w.Build(UnrollMaxwell)
+		hasMem := false
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if in.Op.Class() == isa.ClassMem {
+				hasMem = true
+				if in.Mem == nil || in.Mem.FootprintB <= 0 {
+					t.Errorf("%s: memory instr %d lacks metadata", w.Name, i)
+				}
+			}
+		}
+		if !hasMem {
+			t.Errorf("%s: kernel has no memory instructions", w.Name)
+		}
+	}
+}

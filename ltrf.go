@@ -1,0 +1,288 @@
+// Package ltrf is a from-scratch reproduction of "LTRF: Enabling
+// High-Capacity Register Files for GPUs via Hardware/Software Cooperative
+// Register Prefetching" (Sadrosadati et al., ASPLOS 2018).
+//
+// The package exposes the complete stack as a library:
+//
+//   - a PTX-like kernel IR with a structured-control-flow builder
+//     (NewKernel),
+//   - the paper's compiler passes: liveness-driven register allocation and
+//     the two-pass register-interval formation algorithm with PREFETCH
+//     planning (Compile),
+//   - a cycle-level GPU timing simulator with a Maxwell-like SM, two-level
+//     warp scheduling, operand collectors, the full memory hierarchy, and
+//     all compared register-file designs: BL, RFC, SHRF, LTRF, LTRF+,
+//     LTRF(strand), Ideal (Simulate),
+//   - the Table 2 register-file technology model (Tech),
+//   - the 35-workload synthetic benchmark suite (Workloads, EvalWorkloads),
+//   - and one experiment driver per table/figure of the paper's evaluation
+//     (Experiments, RunExperiment).
+//
+// Quickstart:
+//
+//	b := ltrf.NewKernel("saxpy")
+//	... build the kernel ...
+//	compiled, _ := ltrf.Compile(b.MustBuild(), ltrf.CompileOptions{})
+//	res, _ := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3}, compiled.Virtual)
+//	fmt.Println(res.IPC)
+package ltrf
+
+import (
+	"fmt"
+	"io"
+
+	"ltrf/internal/core"
+	"ltrf/internal/exp"
+	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
+	"ltrf/internal/regalloc"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// Re-exported kernel-construction types.
+type (
+	// Builder constructs kernels with structured control flow.
+	Builder = isa.Builder
+	// Program is a kernel's instruction sequence.
+	Program = isa.Program
+	// Reg is a register identifier.
+	Reg = isa.Reg
+	// MemAccess describes a memory instruction's address behavior.
+	MemAccess = isa.MemAccess
+)
+
+// Memory access patterns for kernel construction.
+const (
+	Coalesced = isa.PatCoalesced
+	Strided   = isa.PatStrided
+	Random    = isa.PatRandom
+)
+
+// NewKernel returns a builder for a kernel with the given name.
+func NewKernel(name string) *Builder { return isa.NewBuilder(name) }
+
+// Design identifies a register-file design under evaluation.
+type Design = sim.Design
+
+// The compared register-file designs (§5 Comparison Points).
+const (
+	BL         = sim.DesignBL
+	RFC        = sim.DesignRFC
+	SHRF       = sim.DesignSHRF
+	LTRF       = sim.DesignLTRF
+	LTRFPlus   = sim.DesignLTRFPlus
+	LTRFStrand = sim.DesignLTRFStrand
+	Ideal      = sim.DesignIdeal
+)
+
+// Tech returns the Table 2 register-file design point with 1-based index
+// 1..7 (configuration #1 is the SRAM baseline, #6 TFET, #7 DWM).
+func Tech(config int) (memtech.Params, error) { return memtech.Config(config) }
+
+// CompileOptions configure kernel compilation.
+type CompileOptions struct {
+	// RegisterBudget is the per-thread architectural register cap
+	// (maxregcount); 0 means "whatever the kernel needs", up to 255.
+	RegisterBudget int
+	// IntervalRegs is the register-interval working-set budget N
+	// (default 16, Table 3).
+	IntervalRegs int
+}
+
+// Compiled is the result of Compile.
+type Compiled struct {
+	// Virtual is the input kernel (virtual registers).
+	Virtual *Program
+	// Allocated is the register-allocated kernel.
+	Allocated *Program
+	// Demand is the per-thread register count the compiler needs without
+	// a cap (the Table 1 quantity).
+	Demand int
+	// Spilled counts registers spilled to local memory under the budget.
+	Spilled int
+	// Intervals is the register-interval partition with PREFETCH
+	// working sets (the paper's Algorithms 1 and 2).
+	Intervals *core.Partition
+	// Strands is the strand partition used by the SHRF baseline and the
+	// LTRF-strand ablation (§6.6).
+	Strands *core.Partition
+	// Instrumented is the kernel with explicit PREFETCH operations
+	// inserted (for inspection and code-size accounting, §4.3).
+	Instrumented *Program
+}
+
+// Compile runs the paper's compiler pipeline on a kernel: register
+// allocation, liveness/dead-operand analysis, and prefetch-subgraph
+// formation for both schemes.
+func Compile(kernel *Program, o CompileOptions) (*Compiled, error) {
+	if o.IntervalRegs == 0 {
+		o.IntervalRegs = 16
+	}
+	demand, err := regalloc.Pressure(kernel)
+	if err != nil {
+		return nil, err
+	}
+	budget := o.RegisterBudget
+	if budget == 0 {
+		budget = demand
+		if budget > isa.MaxArchRegs-1 {
+			budget = isa.MaxArchRegs - 1
+		}
+		if budget < 8 {
+			budget = 8
+		}
+	}
+	prog, st, err := regalloc.Allocate(kernel, budget)
+	if err != nil {
+		return nil, err
+	}
+	ivls, err := core.FormRegisterIntervals(prog, o.IntervalRegs)
+	if err != nil {
+		return nil, err
+	}
+	strands, err := core.FormStrands(prog, o.IntervalRegs)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Virtual:      kernel,
+		Allocated:    prog,
+		Demand:       demand,
+		Spilled:      st.SpilledRegs,
+		Intervals:    ivls,
+		Strands:      strands,
+		Instrumented: core.InstrumentProgram(ivls),
+	}, nil
+}
+
+// SimOptions configure a simulation.
+type SimOptions struct {
+	// Design selects the register-file design (default BL).
+	Design Design
+	// TechConfig selects the Table 2 main-RF design point (default 1).
+	TechConfig int
+	// LatencyX scales the main register file access latency (default 1).
+	LatencyX float64
+	// ActiveWarps, IntervalRegs, MaxWarps override Table 3 defaults when
+	// non-zero.
+	ActiveWarps  int
+	IntervalRegs int
+	MaxWarps     int
+	// MaxInstrs bounds the simulation (default 200k dynamic instructions).
+	MaxInstrs int64
+}
+
+// SimResult is a simulation outcome.
+type SimResult = sim.Result
+
+// GPUResult is a multi-SM simulation outcome.
+type GPUResult = sim.GPUResult
+
+// Simulate runs a kernel (virtual or allocated registers) on the simulated
+// GPU under the selected register-file design.
+func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
+	c := sim.DefaultConfig(o.Design)
+	if o.TechConfig != 0 {
+		t, err := memtech.Config(o.TechConfig)
+		if err != nil {
+			return nil, err
+		}
+		c.Tech = t
+	}
+	if o.LatencyX != 0 {
+		c.LatencyX = o.LatencyX
+	}
+	if o.ActiveWarps != 0 {
+		c.ActiveWarps = o.ActiveWarps
+	}
+	if o.IntervalRegs != 0 {
+		c.RegsPerInterval = o.IntervalRegs
+	}
+	if o.MaxWarps != 0 {
+		c.MaxWarps = o.MaxWarps
+	}
+	if o.MaxInstrs != 0 {
+		c.MaxInstrs = o.MaxInstrs
+		c.MaxCycles = o.MaxInstrs * 12
+	}
+	return sim.Run(c, kernel)
+}
+
+// SimulateGPU runs a kernel on numSMs streaming multiprocessors stepped in
+// lockstep with a shared LLC and DRAM (Table 3's chip has 24). The per-SM
+// experiments in internal/exp simulate one SM; use this entry point to study
+// chip-level contention.
+func SimulateGPU(o SimOptions, numSMs int, kernel *Program) (*GPUResult, error) {
+	c := sim.DefaultConfig(o.Design)
+	if o.TechConfig != 0 {
+		t, err := memtech.Config(o.TechConfig)
+		if err != nil {
+			return nil, err
+		}
+		c.Tech = t
+	}
+	if o.LatencyX != 0 {
+		c.LatencyX = o.LatencyX
+	}
+	if o.ActiveWarps != 0 {
+		c.ActiveWarps = o.ActiveWarps
+	}
+	if o.IntervalRegs != 0 {
+		c.RegsPerInterval = o.IntervalRegs
+	}
+	if o.MaxWarps != 0 {
+		c.MaxWarps = o.MaxWarps
+	}
+	if o.MaxInstrs != 0 {
+		c.MaxInstrs = o.MaxInstrs
+		c.MaxCycles = o.MaxInstrs * 12
+	}
+	return sim.RunGPU(c, numSMs, kernel)
+}
+
+// Workload is a synthetic benchmark kernel.
+type Workload = workloads.Workload
+
+// Workloads returns the 35-kernel benchmark suite (§5).
+func Workloads() []Workload { return workloads.All() }
+
+// EvalWorkloads returns the paper's 14-workload evaluation subset.
+func EvalWorkloads() []Workload { return workloads.EvalSet() }
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Experiment is a regenerable paper artifact (table or figure).
+type Experiment = exp.Spec
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = exp.Table
+
+// ExperimentOptions control experiment cost.
+type ExperimentOptions = exp.Options
+
+// Experiments lists every table/figure driver in paper order.
+func Experiments() []Experiment { return exp.Registry() }
+
+// RunExperiment regenerates one paper artifact by id (e.g. "figure9").
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	s, err := exp.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(o)
+}
+
+// RunAllExperiments regenerates every artifact, writing rendered tables to w.
+func RunAllExperiments(w io.Writer, o ExperimentOptions) error {
+	for _, s := range exp.Registry() {
+		t, err := s.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package ltrf_test
+
+import (
+	"strings"
+	"testing"
+
+	"ltrf"
+)
+
+func buildDemoKernel(t testing.TB) *ltrf.Program {
+	t.Helper()
+	b := ltrf.NewKernel("demo")
+	r := b.RegN(12)
+	for i, reg := range r {
+		b.IMovImm(reg, int64(i))
+	}
+	b.Loop(6, func() {
+		b.LdGlobal(r[0], r[1], ltrf.MemAccess{Pattern: ltrf.Coalesced, Region: 0, FootprintB: 1 << 20})
+		b.Loop(6, func() {
+			b.FFMA(r[4], r[0], r[10], r[4])
+			b.FFMA(r[5], r[0], r[11], r[5])
+			b.FAdd(r[6], r[4], r[5])
+		})
+		b.StGlobal(r[1], r[6], ltrf.MemAccess{Pattern: ltrf.Coalesced, Region: 1, FootprintB: 1 << 20})
+		b.IAddImm(r[1], r[1], 4)
+	})
+	return b.MustBuild()
+}
+
+func TestCompilePipeline(t *testing.T) {
+	c, err := ltrf.Compile(buildDemoKernel(t), ltrf.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Demand <= 0 || c.Allocated.RegCount() <= 0 {
+		t.Errorf("compile results incomplete: %+v", c)
+	}
+	if c.Intervals.NumUnits() == 0 || c.Strands.NumUnits() == 0 {
+		t.Error("partitions must be formed")
+	}
+	if c.Intervals.NumUnits() > c.Strands.NumUnits() {
+		t.Error("intervals must be coarser than strands")
+	}
+	if err := c.Instrumented.Validate(); err != nil {
+		t.Errorf("instrumented program: %v", err)
+	}
+}
+
+func TestSimulateHeadlineResult(t *testing.T) {
+	// The paper's headline behavior through the public API: on a 6.3x
+	// slower main register file, LTRF retains most of the baseline's
+	// performance while BL collapses.
+	kernel := buildDemoKernel(t)
+	bl1, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.BL, LatencyX: 1, MaxInstrs: 30000}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl63, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.BL, LatencyX: 6.3, MaxInstrs: 30000}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltrf63, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 6.3, MaxInstrs: 30000}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl63.IPC >= bl1.IPC*0.7 {
+		t.Errorf("BL should degrade at 6.3x: %.3f vs %.3f", bl63.IPC, bl1.IPC)
+	}
+	if ltrf63.IPC <= bl63.IPC {
+		t.Errorf("LTRF (%.3f) must beat BL (%.3f) at 6.3x", ltrf63.IPC, bl63.IPC)
+	}
+}
+
+func TestWorkloadAccessors(t *testing.T) {
+	if len(ltrf.Workloads()) != 35 {
+		t.Errorf("Workloads() = %d, want 35", len(ltrf.Workloads()))
+	}
+	if len(ltrf.EvalWorkloads()) != 14 {
+		t.Errorf("EvalWorkloads() = %d, want 14", len(ltrf.EvalWorkloads()))
+	}
+	if _, err := ltrf.WorkloadByName("sgemm"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechAccessor(t *testing.T) {
+	p, err := ltrf.Tech(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CapacityKB() != 2048 {
+		t.Errorf("config #7 capacity = %dKB, want 2048", p.CapacityKB())
+	}
+	if _, err := ltrf.Tech(9); err == nil {
+		t.Error("Tech(9) must fail")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	specs := ltrf.Experiments()
+	if len(specs) != 13 {
+		t.Errorf("Experiments() = %d entries, want 13", len(specs))
+	}
+	// Table 2 is cheap: run it through the public API.
+	tab, err := ltrf.RunExperiment("table2", ltrf.ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"#1", "#7", "DWM", "6.30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, s)
+		}
+	}
+	if _, err := ltrf.RunExperiment("nope", ltrf.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestRunAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	o := ltrf.ExperimentOptions{Quick: true, Workloads: []string{"btree", "sgemm"}}
+	if err := ltrf.RunAllExperiments(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"table1", "table2", "table4", "figure2", "figure3",
+		"figure4", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14", "overheads"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("missing %s in combined output", id)
+		}
+	}
+}
+
+func TestSimulateGPU(t *testing.T) {
+	kernel := buildDemoKernel(t)
+	res, err := ltrf.SimulateGPU(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2, MaxInstrs: 6000}, 3, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSM) != 3 || res.TotalIPC <= 0 {
+		t.Errorf("GPU result incomplete: %d SMs, IPC %v", len(res.PerSM), res.TotalIPC)
+	}
+}
