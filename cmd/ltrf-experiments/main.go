@@ -5,7 +5,12 @@
 //
 //	ltrf-experiments -list
 //	ltrf-experiments -run figure9
-//	ltrf-experiments -all [-quick] [-workloads sgemm,stencil,btree]
+//	ltrf-experiments -all [-quick] [-parallel 8] [-workloads sgemm,stencil,btree]
+//
+// Experiments declare their simulation points up front and evaluate them on
+// a worker pool (-parallel, default GOMAXPROCS) with results memoized
+// across the whole invocation; tables are rendered serially from the memo,
+// so output is byte-identical at any parallelism.
 package main
 
 import (
@@ -20,15 +25,16 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "run one experiment by id (e.g. figure9)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
-		subset = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "run one experiment by id (e.g. figure9)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		subset   = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
 	)
 	flag.Parse()
 
-	o := ltrf.ExperimentOptions{Quick: *quick}
+	o := ltrf.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}

@@ -1,0 +1,3 @@
+module ltrf
+
+go 1.24

@@ -1,0 +1,299 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// Point canonically keys one simulation of the evaluation: the design under
+// test, the Table 2 technology point, the latency multiplier, the workload
+// (and compiler unroll factor), the dynamic-instruction budget, and the
+// Table 3 knobs the sensitivity figures vary. Two experiments that need the
+// same point — e.g. the config-#1 BL baseline shared by Figures 3, 9, and
+// 10 — simulate it once per process.
+type Point struct {
+	Design   sim.Design
+	Tech     int // Table 2 config index (1-based)
+	LatencyX float64
+	Workload string
+	Unroll   int
+	Budget   int64 // dynamic-instruction budget (Options.budget)
+
+	// Table 3 overrides for the sensitivity figures (0 = default).
+	RegsPerInterval int // Figure 12
+	ActiveWarps     int // Figure 13
+}
+
+// point builds the canonical key for a simulation at the options' budget.
+func (o Options) point(d sim.Design, tech int, latX float64, workload string) Point {
+	return Point{
+		Design:   d,
+		Tech:     tech,
+		LatencyX: latX,
+		Workload: workload,
+		Unroll:   workloads.UnrollMaxwell,
+		Budget:   o.budget(),
+	}
+}
+
+// Engine memoizes simulation results per Point and compiled kernels per
+// (workload, unroll, regCap), and evaluates batches of points on a bounded
+// worker pool. It is safe for concurrent use; each point is simulated at
+// most once per Engine (singleflight), so batch evaluation is deduplicated
+// both within one experiment and across experiments sharing the engine.
+type Engine struct {
+	mu      sync.Mutex
+	results map[Point]*resultEntry
+
+	vmu      sync.Mutex
+	virtuals map[virtKey]*virtEntry
+
+	compile *sim.CompileCache
+
+	sims atomic.Int64 // simulations actually executed (cache misses)
+}
+
+// Sims reports how many simulations the engine has actually executed —
+// i.e. cache misses. The difference against the number of points rendered
+// is the work memoization saved.
+func (e *Engine) Sims() int64 { return e.sims.Load() }
+
+type resultEntry struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
+type virtKey struct {
+	workload string
+	unroll   int
+}
+
+type virtEntry struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// NewEngine returns an empty engine with its own caches. The zero Options
+// value uses a process-wide shared engine instead; a private engine is
+// useful to bound cache lifetime or to benchmark cold-cache behavior.
+func NewEngine() *Engine {
+	return &Engine{
+		results:  map[Point]*resultEntry{},
+		virtuals: map[virtKey]*virtEntry{},
+		compile:  sim.NewCompileCache(),
+	}
+}
+
+// defaultEngine memoizes across every experiment run in the process.
+var defaultEngine = NewEngine()
+
+// engine resolves the engine experiments run on.
+func (o Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return defaultEngine
+}
+
+// workers resolves the worker-pool width.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// virtual memoizes workloads.Build so every simulation of a workload shares
+// one program pointer (which is what makes the compile cache hit).
+func (e *Engine) virtual(workload string, unroll int) (*isa.Program, error) {
+	e.vmu.Lock()
+	ent, ok := e.virtuals[virtKey{workload, unroll}]
+	if !ok {
+		ent = &virtEntry{}
+		e.virtuals[virtKey{workload, unroll}] = ent
+	}
+	e.vmu.Unlock()
+	ent.once.Do(func() {
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.prog = w.Build(unroll)
+	})
+	return ent.prog, ent.err
+}
+
+// canon folds Table 3 overrides that equal the design's defaults into the
+// zero value, so e.g. Figure 12's "16 regs" variant shares the memo with
+// Figure 11's default-knob LTRF sweep.
+func (p Point) canon() Point {
+	d := sim.DefaultConfig(p.Design)
+	if p.RegsPerInterval == d.RegsPerInterval {
+		p.RegsPerInterval = 0
+	}
+	if p.ActiveWarps == d.ActiveWarps {
+		p.ActiveWarps = 0
+	}
+	return p
+}
+
+// Eval returns the simulation result for a point, running it on first use
+// and serving the memo afterwards. Concurrent calls for the same point
+// block on the single in-flight simulation. Errors are memoized too, so the
+// serial rendering pass surfaces the same error regardless of parallelism.
+func (e *Engine) Eval(p Point) (*sim.Result, error) {
+	p = p.canon()
+	e.mu.Lock()
+	ent, ok := e.results[p]
+	if !ok {
+		ent = &resultEntry{}
+		e.results[p] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		e.sims.Add(1)
+		ent.res, ent.err = e.evalUncached(p)
+	})
+	return ent.res, ent.err
+}
+
+func (e *Engine) evalUncached(p Point) (*sim.Result, error) {
+	virt, err := e.virtual(p.Workload, p.Unroll)
+	if err != nil {
+		return nil, err
+	}
+	tech, err := memtech.Config(p.Tech)
+	if err != nil {
+		return nil, err
+	}
+	c := sim.DefaultConfig(p.Design)
+	c.Tech = tech
+	c.LatencyX = p.LatencyX
+	c.MaxInstrs = p.Budget
+	c.MaxCycles = p.Budget * 12
+	if p.RegsPerInterval != 0 {
+		c.RegsPerInterval = p.RegsPerInterval
+	}
+	if p.ActiveWarps != 0 {
+		c.ActiveWarps = p.ActiveWarps
+	}
+	res, err := sim.RunWithCache(c, virt, e.compile)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s@%gx: %w", p.Design, p.Workload, p.LatencyX, err)
+	}
+	return res, nil
+}
+
+// RunBatch evaluates a declared point set, fanning out over the options'
+// worker pool. It does not return errors: results and errors alike are
+// memoized, and drivers render serially through Eval afterwards — so both
+// the table bytes and the surfaced error are independent of worker count
+// and goroutine scheduling.
+func (e *Engine) RunBatch(o Options, pts []Point) {
+	n := o.workers()
+	if n > len(pts) {
+		n = len(pts)
+	}
+	if n <= 1 {
+		for _, p := range pts {
+			e.Eval(p) //nolint:errcheck // memoized; surfaced at render time
+		}
+		return
+	}
+	ch := make(chan Point)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				e.Eval(p) //nolint:errcheck // memoized; surfaced at render time
+			}
+		}()
+	}
+	for _, p := range pts {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Pressure returns a workload's unconstrained register demand (the Table 1
+// quantity), memoized.
+func (e *Engine) Pressure(workload string, unroll int) (int, error) {
+	virt, err := e.virtual(workload, unroll)
+	if err != nil {
+		return 0, err
+	}
+	return e.compile.Pressure(virt)
+}
+
+// Intervals returns a workload's register-allocated program and its
+// register-interval partition at budget n, memoized. The static analyses
+// (Table 4, code-size overheads) share these with the simulator's compile
+// path.
+func (e *Engine) Intervals(workload string, unroll, regCap, n int) (*isa.Program, *core.Partition, error) {
+	virt, err := e.virtual(workload, unroll)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, _, err := e.compile.Allocate(virt, regCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := e.compile.Partition(prog, false, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, part, nil
+}
+
+// parallelEach runs fn(i) for every i in [0,n) on the options' worker pool
+// and returns the lowest-index error (deterministic regardless of
+// scheduling). fn must write its output to index-addressed storage.
+func parallelEach(o Options, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -82,6 +82,14 @@ type Options struct {
 	// Workloads restricts simulation-based experiments to the named
 	// workloads (nil = the paper's 14-workload evaluation subset).
 	Workloads []string
+	// Parallelism bounds the number of concurrently simulated points
+	// (0 = GOMAXPROCS). Tables are rendered serially from memoized
+	// results, so output is byte-identical at any parallelism.
+	Parallelism int
+	// Engine overrides the memo cache experiments run on (nil = a shared
+	// process-wide engine, so repeated experiments never re-simulate a
+	// point). Supply a fresh NewEngine to isolate or drop the cache.
+	Engine *Engine
 }
 
 // budget returns the dynamic-instruction budget per simulation.

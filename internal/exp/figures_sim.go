@@ -3,24 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"ltrf/internal/memtech"
 	"ltrf/internal/power"
 	"ltrf/internal/sim"
 	"ltrf/internal/workloads"
 )
-
-// runOne simulates one (design, technology, latency multiplier, workload)
-// point.
-func runOne(o Options, d sim.Design, tech memtech.Params, latX float64, w workloads.Workload) (*sim.Result, error) {
-	c := o.baseConfig(d)
-	c.Tech = tech
-	c.LatencyX = latX
-	res, err := sim.Run(c, w.Build(workloads.UnrollMaxwell))
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", d, w.Name, err)
-	}
-	return res, nil
-}
 
 // label annotates workload names with their sensitivity class.
 func label(w workloads.Workload) string {
@@ -38,8 +24,20 @@ func Figure3(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := memtech.MustConfig(1)
-	tfet := memtech.MustConfig(6)
+	eng := o.engine()
+
+	// Declare the point set up front: per workload, the config-#1 BL
+	// baseline plus Ideal and BL on the TFET point (#6).
+	var pts []Point
+	for _, w := range ws {
+		pts = append(pts,
+			o.point(sim.DesignBL, 1, 1.0, w.Name),
+			o.point(sim.DesignIdeal, 6, 1.0, w.Name),
+			o.point(sim.DesignBL, 6, 1.0, w.Name),
+		)
+	}
+	eng.RunBatch(o, pts)
+
 	t := &Table{
 		ID:      "figure3",
 		Title:   "8x register file with ideal vs. real TFET-SRAM latency (normalized IPC)",
@@ -50,15 +48,15 @@ func Figure3(o Options) (*Table, error) {
 	}
 	var idealS, realS, idealI, realI []float64
 	for _, w := range ws {
-		bl, err := runOne(o, sim.DesignBL, base, 1.0, w)
+		bl, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		ideal, err := runOne(o, sim.DesignIdeal, tfet, 1.0, w)
+		ideal, err := eng.Eval(o.point(sim.DesignIdeal, 6, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		real, err := runOne(o, sim.DesignBL, tfet, 1.0, w)
+		real, err := eng.Eval(o.point(sim.DesignBL, 6, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +84,17 @@ func Figure4(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := memtech.MustConfig(1)
+	eng := o.engine()
+
+	var pts []Point
+	for _, w := range ws {
+		pts = append(pts,
+			o.point(sim.DesignRFC, 1, 1.0, w.Name),
+			o.point(sim.DesignSHRF, 1, 1.0, w.Name),
+		)
+	}
+	eng.RunBatch(o, pts)
+
 	t := &Table{
 		ID:      "figure4",
 		Title:   "Register file cache hit rates (16KB cache)",
@@ -95,11 +103,11 @@ func Figure4(o Options) (*Table, error) {
 	}
 	var hw, sw []float64
 	for _, w := range ws {
-		rfc, err := runOne(o, sim.DesignRFC, base, 1.0, w)
+		rfc, err := eng.Eval(o.point(sim.DesignRFC, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		shrf, err := runOne(o, sim.DesignSHRF, base, 1.0, w)
+		shrf, err := eng.Eval(o.point(sim.DesignSHRF, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -120,8 +128,23 @@ func Figure9(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := memtech.MustConfig(1)
+	eng := o.engine()
 	designs := []sim.Design{sim.DesignBL, sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus, sim.DesignIdeal}
+
+	// One shared config-#1 baseline per workload plus every (design, cfg)
+	// cell; the memo dedups the baseline across the two config panels (and
+	// across Figures 3 and 10, which share it).
+	var pts []Point
+	for _, w := range ws {
+		pts = append(pts, o.point(sim.DesignBL, 1, 1.0, w.Name))
+		for _, cfgIdx := range []int{6, 7} {
+			for _, d := range designs {
+				pts = append(pts, o.point(d, cfgIdx, 1.0, w.Name))
+			}
+		}
+	}
+	eng.RunBatch(o, pts)
+
 	t := &Table{
 		ID:    "figure9",
 		Title: "Normalized IPC with 8x register files (configs #6 and #7)",
@@ -133,16 +156,15 @@ func Figure9(o Options) (*Table, error) {
 		},
 	}
 	for _, cfgIdx := range []int{6, 7} {
-		tech := memtech.MustConfig(cfgIdx)
 		sums := map[sim.Design][]float64{}
 		for _, w := range ws {
-			bl1, err := runOne(o, sim.DesignBL, base, 1.0, w)
+			bl1, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
 			if err != nil {
 				return nil, err
 			}
 			row := []string{label(w), fmt.Sprintf("#%d", cfgIdx)}
 			for _, d := range designs {
-				res, err := runOne(o, d, tech, 1.0, w)
+				res, err := eng.Eval(o.point(d, cfgIdx, 1.0, w.Name))
 				if err != nil {
 					return nil, err
 				}
@@ -169,9 +191,18 @@ func Figure10(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := memtech.MustConfig(1)
-	dwm := memtech.MustConfig(7)
+	eng := o.engine()
 	designs := []sim.Design{sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus}
+
+	var pts []Point
+	for _, w := range ws {
+		pts = append(pts, o.point(sim.DesignBL, 1, 1.0, w.Name))
+		for _, d := range designs {
+			pts = append(pts, o.point(d, 7, 1.0, w.Name))
+		}
+	}
+	eng.RunBatch(o, pts)
+
 	t := &Table{
 		ID:      "figure10",
 		Title:   "Register file power on configuration #7 (normalized to baseline)",
@@ -182,18 +213,18 @@ func Figure10(o Options) (*Table, error) {
 	}
 	sums := map[sim.Design][]float64{}
 	for _, w := range ws {
-		bl1, err := runOne(o, sim.DesignBL, base, 1.0, w)
+		bl1, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		basePower := power.NewModel(base, false).Compute(bl1.Cycles, bl1.RF).Total() / float64(bl1.Cycles)
+		basePower := power.NewModel(bl1.Config.Tech, false).Compute(bl1.Cycles, bl1.RF).Total() / float64(bl1.Cycles)
 		row := []string{label(w)}
 		for _, d := range designs {
-			res, err := runOne(o, d, dwm, 1.0, w)
+			res, err := eng.Eval(o.point(d, 7, 1.0, w.Name))
 			if err != nil {
 				return nil, err
 			}
-			p := power.NewModel(dwm, true).Compute(res.Cycles, res.RF).Total() / float64(res.Cycles)
+			p := power.NewModel(res.Config.Tech, true).Compute(res.Cycles, res.RF).Total() / float64(res.Cycles)
 			n := p / basePower
 			sums[d] = append(sums[d], n)
 			row = append(row, f2(n))

@@ -5,7 +5,6 @@ import (
 
 	"ltrf/internal/core"
 	"ltrf/internal/power"
-	"ltrf/internal/regalloc"
 	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
 	"ltrf/internal/workloads"
@@ -50,20 +49,22 @@ func Figure2(o Options) (*Table, error) {
 // both encodings, WCB storage, LTRF area, and LTRF power on the baseline
 // technology.
 func Overheads(o Options) (*Table, error) {
-	// Code size across the full suite.
-	var embs, exps []float64
-	for _, w := range workloads.All() {
-		prog, _, err := regalloc.Allocate(w.Build(workloads.UnrollMaxwell), 255)
+	// Code size across the full suite: allocation and interval formation
+	// come from the engine's compile cache, measured in parallel.
+	eng := o.engine()
+	wsAll := workloads.All()
+	embs := make([]float64, len(wsAll))
+	exps := make([]float64, len(wsAll))
+	err := parallelEach(o, len(wsAll), func(i int) error {
+		_, part, err := eng.Intervals(wsAll[i].Name, workloads.UnrollMaxwell, 255, 16)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		part, err := core.FormRegisterIntervals(prog, 16)
-		if err != nil {
-			return nil, err
-		}
-		emb, exp := core.CodeSizeOverhead(part)
-		embs = append(embs, emb)
-		exps = append(exps, exp)
+		embs[i], exps[i] = core.CodeSizeOverhead(part)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// WCB storage (§4.3): 64 warps x 256 architectural registers.
@@ -71,16 +72,15 @@ func Overheads(o Options) (*Table, error) {
 
 	// Power on the baseline technology with LTRF structures: run one
 	// representative workload under BL and LTRF at config #1.
-	w, err := workloads.ByName("sgemm")
+	eng.RunBatch(o, []Point{
+		o.point(sim.DesignBL, 1, 1.0, "sgemm"),
+		o.point(sim.DesignLTRF, 1, 1.0, "sgemm"),
+	})
+	blRes, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, "sgemm"))
 	if err != nil {
 		return nil, err
 	}
-	virt := w.Build(workloads.UnrollMaxwell)
-	blRes, err := sim.Run(o.baseConfig(sim.DesignBL), virt)
-	if err != nil {
-		return nil, err
-	}
-	ltrfRes, err := sim.Run(o.baseConfig(sim.DesignLTRF), virt)
+	ltrfRes, err := eng.Eval(o.point(sim.DesignLTRF, 1, 1.0, "sgemm"))
 	if err != nil {
 		return nil, err
 	}

@@ -3,30 +3,42 @@ package exp
 import (
 	"fmt"
 
-	"ltrf/internal/memtech"
 	"ltrf/internal/sim"
-	"ltrf/internal/workloads"
 )
 
 // sweepGrid is the latency-multiplier x-axis of Figures 11-14.
 var sweepGrid = []float64{1, 2, 3, 4, 5, 6, 7, 8}
 
-// sweepOne measures normalized IPC (relative to the same design at 1x) for
-// one design and workload across the latency grid.
-func sweepOne(o Options, d sim.Design, w workloads.Workload, cfgMut func(*sim.Config)) ([]float64, error) {
-	base := memtech.MustConfig(1)
-	out := make([]float64, len(sweepGrid))
-	var ipc1 float64
+// sweepVariant names one series of a sensitivity figure and the Point knob
+// it varies. set may be nil for a plain sweep of the design's defaults.
+type sweepVariant struct {
+	name string
+	set  func(*Point)
+}
+
+// sweepPoints declares the latency-grid point set for one (design, workload,
+// variant) series on the config-#1 technology.
+func sweepPoints(o Options, d sim.Design, workload string, set func(*Point)) []Point {
+	pts := make([]Point, len(sweepGrid))
 	for i, x := range sweepGrid {
-		c := o.baseConfig(d)
-		c.Tech = base
-		c.LatencyX = x
-		if cfgMut != nil {
-			cfgMut(&c)
+		p := o.point(d, 1, x, workload)
+		if set != nil {
+			set(&p)
 		}
-		res, err := sim.Run(c, w.Build(workloads.UnrollMaxwell))
+		pts[i] = p
+	}
+	return pts
+}
+
+// sweepCurve renders a declared series from the memo: normalized IPC
+// relative to the series' own 1x point.
+func sweepCurve(eng *Engine, pts []Point) ([]float64, error) {
+	out := make([]float64, len(pts))
+	var ipc1 float64
+	for i, p := range pts {
+		res, err := eng.Eval(p)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s@%.1fx: %w", d, w.Name, x, err)
+			return nil, err
 		}
 		if i == 0 {
 			ipc1 = res.IPC
@@ -68,7 +80,17 @@ func Figure11(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := o.engine()
 	designs := []sim.Design{sim.DesignBL, sim.DesignRFC, sim.DesignLTRF, sim.DesignLTRFPlus}
+
+	var pts []Point
+	for _, w := range ws {
+		for _, d := range designs {
+			pts = append(pts, sweepPoints(o, d, w.Name, nil)...)
+		}
+	}
+	eng.RunBatch(o, pts)
+
 	t := &Table{
 		ID:      "figure11",
 		Title:   "Maximum tolerable register file access latency (5% IPC loss)",
@@ -82,7 +104,7 @@ func Figure11(o Options) (*Table, error) {
 	for _, w := range ws {
 		row := []string{label(w)}
 		for _, d := range designs {
-			curve, err := sweepOne(o, d, w, nil)
+			curve, err := sweepCurve(eng, sweepPoints(o, d, w.Name, nil))
 			if err != nil {
 				return nil, err
 			}
@@ -105,25 +127,33 @@ func Figure11(o Options) (*Table, error) {
 	return t, nil
 }
 
-// sweepAverage runs a latency sweep for several configuration variants and
-// averages the normalized IPC across the evaluation workloads.
-func sweepAverage(o Options, d sim.Design, variants []struct {
-	name string
-	mut  func(*sim.Config)
-}) (*Table, []string, [][]float64, error) {
+// sweepAverage declares and evaluates the full latency sweep for several
+// variants of one design, then averages the normalized IPC across the
+// evaluation workloads.
+func sweepAverage(o Options, d sim.Design, variants []sweepVariant) (names []string, series [][]float64, err error) {
 	ws, err := o.evalSet()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	names := make([]string, len(variants))
-	series := make([][]float64, len(variants))
+	eng := o.engine()
+
+	var pts []Point
+	for _, v := range variants {
+		for _, w := range ws {
+			pts = append(pts, sweepPoints(o, d, w.Name, v.set)...)
+		}
+	}
+	eng.RunBatch(o, pts)
+
+	names = make([]string, len(variants))
+	series = make([][]float64, len(variants))
 	for vi, v := range variants {
 		names[vi] = v.name
 		acc := make([][]float64, len(sweepGrid))
 		for _, w := range ws {
-			curve, err := sweepOne(o, d, w, v.mut)
+			curve, err := sweepCurve(eng, sweepPoints(o, d, w.Name, v.set))
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, nil, err
 			}
 			for i, val := range curve {
 				acc[i] = append(acc[i], val)
@@ -134,7 +164,7 @@ func sweepAverage(o Options, d sim.Design, variants []struct {
 			series[vi][i] = geomean(acc[i])
 		}
 	}
-	return nil, names, series, nil
+	return names, series, nil
 }
 
 func sweepTable(id, title string, names []string, series [][]float64, notes []string) *Table {
@@ -154,15 +184,12 @@ func sweepTable(id, title string, names []string, series [][]float64, notes []st
 // own 1x point) as main RF latency grows, for 8, 16, and 32 registers per
 // register-interval.
 func Figure12(o Options) (*Table, error) {
-	variants := []struct {
-		name string
-		mut  func(*sim.Config)
-	}{
-		{"8 regs", func(c *sim.Config) { c.RegsPerInterval = 8 }},
-		{"16 regs", func(c *sim.Config) { c.RegsPerInterval = 16 }},
-		{"32 regs", func(c *sim.Config) { c.RegsPerInterval = 32 }},
+	variants := []sweepVariant{
+		{"8 regs", func(p *Point) { p.RegsPerInterval = 8 }},
+		{"16 regs", func(p *Point) { p.RegsPerInterval = 16 }},
+		{"32 regs", func(p *Point) { p.RegsPerInterval = 32 }},
 	}
-	_, names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -176,15 +203,12 @@ func Figure12(o Options) (*Table, error) {
 // Figure13 reproduces the paper's Figure 13: LTRF IPC versus latency for 4,
 // 8, and 16 active warps, with the per-warp cache partition held constant.
 func Figure13(o Options) (*Table, error) {
-	variants := []struct {
-		name string
-		mut  func(*sim.Config)
-	}{
-		{"4 warps", func(c *sim.Config) { c.ActiveWarps = 4 }},
-		{"8 warps", func(c *sim.Config) { c.ActiveWarps = 8 }},
-		{"16 warps", func(c *sim.Config) { c.ActiveWarps = 16 }},
+	variants := []sweepVariant{
+		{"4 warps", func(p *Point) { p.ActiveWarps = 4 }},
+		{"8 warps", func(p *Point) { p.ActiveWarps = 8 }},
+		{"16 warps", func(p *Point) { p.ActiveWarps = 16 }},
 	}
-	_, names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +226,7 @@ func Figure14(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := o.engine()
 	designs := []struct {
 		name string
 		d    sim.Design
@@ -212,13 +237,22 @@ func Figure14(o Options) (*Table, error) {
 		{"LTRF(strand)", sim.DesignLTRFStrand},
 		{"LTRF(interval)", sim.DesignLTRF},
 	}
+
+	var pts []Point
+	for _, dd := range designs {
+		for _, w := range ws {
+			pts = append(pts, sweepPoints(o, dd.d, w.Name, nil)...)
+		}
+	}
+	eng.RunBatch(o, pts)
+
 	names := make([]string, len(designs))
 	series := make([][]float64, len(designs))
 	for di, dd := range designs {
 		names[di] = dd.name
 		acc := make([][]float64, len(sweepGrid))
 		for _, w := range ws {
-			curve, err := sweepOne(o, dd.d, w, nil)
+			curve, err := sweepCurve(eng, sweepPoints(o, dd.d, w.Name, nil))
 			if err != nil {
 				return nil, err
 			}

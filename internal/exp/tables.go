@@ -6,7 +6,6 @@ import (
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memtech"
-	"ltrf/internal/regalloc"
 	"ltrf/internal/workloads"
 )
 
@@ -36,13 +35,23 @@ func Table1(o Options) (*Table, error) {
 			"paper: Fermi avg 184KB (1.4x) max 324KB (2.5x); Maxwell avg 588KB (2.3x) max 1504KB (5.9x)",
 		},
 	}
+	eng := o.engine()
 	for _, g := range gpus {
-		var sum, max float64
-		for _, w := range workloads.All() {
-			p, err := regalloc.Pressure(w.Build(g.unroll))
+		all := workloads.All()
+		pressures := make([]int, len(all))
+		err := parallelEach(o, len(all), func(i int) error {
+			p, err := eng.Pressure(all[i].Name, g.unroll)
 			if err != nil {
-				return nil, fmt.Errorf("table1: %s: %w", w.Name, err)
+				return fmt.Errorf("table1: %s: %w", all[i].Name, err)
 			}
+			pressures[i] = p
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sum, max float64
+		for _, p := range pressures {
 			if p > g.regCap {
 				p = g.regCap
 			}
@@ -52,7 +61,7 @@ func Table1(o Options) (*Table, error) {
 				max = kb
 			}
 		}
-		avg := sum / float64(len(workloads.All()))
+		avg := sum / float64(len(all))
 		t.Rows = append(t.Rows, []string{
 			g.name,
 			fmt.Sprintf("%.0fKB (%.1fx)", avg, avg/float64(g.baselineKB)),
@@ -225,28 +234,50 @@ func Table4(o Options) (*Table, error) {
 		}
 	}
 
-	all := newAgg()
-	multi := newAgg() // workloads whose kernels span several intervals
-	for _, w := range workloads.All() {
-		prog, _, err := regalloc.Allocate(w.Build(workloads.UnrollMaxwell), 255)
+	// Per-workload measurement is independent: analyze in parallel into
+	// index-addressed slots, then aggregate serially in suite order so the
+	// statistics are identical at any parallelism.
+	type measurement struct {
+		ok         bool
+		rAvg, oAvg float64
+		multi      bool
+	}
+	wsAll := workloads.All()
+	eng := o.engine()
+	ms := make([]measurement, len(wsAll))
+	err := parallelEach(o, len(wsAll), func(i int) error {
+		w := wsAll[i]
+		prog, part, err := eng.Intervals(w.Name, workloads.UnrollMaxwell, 255, n)
 		if err != nil {
-			return nil, fmt.Errorf("table4: %s: %w", w.Name, err)
-		}
-		part, err := core.FormRegisterIntervals(prog, n)
-		if err != nil {
-			return nil, fmt.Errorf("table4: %s: %w", w.Name, err)
+			return fmt.Errorf("table4: %s: %w", w.Name, err)
 		}
 		trace := traceKernel(prog, traceLen, 7)
 		real, starts := dynamicIntervalLengths(part, trace)
 		opt := optimalIntervalLengths(prog, trace, starts, n)
 		if len(real) == 0 || len(opt) == 0 {
+			return nil
+		}
+		ms[i] = measurement{
+			ok:    true,
+			rAvg:  meanInts(real),
+			oAvg:  meanInts(opt),
+			multi: part.NumUnits() >= 4,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	all := newAgg()
+	multi := newAgg() // workloads whose kernels span several intervals
+	for _, m := range ms {
+		if !m.ok {
 			continue
 		}
-		rAvg := meanInts(real)
-		oAvg := meanInts(opt)
-		add(all, rAvg, oAvg)
-		if part.NumUnits() >= 4 {
-			add(multi, rAvg, oAvg)
+		add(all, m.rAvg, m.oAvg)
+		if m.multi {
+			add(multi, m.rAvg, m.oAvg)
 		}
 	}
 	t := &Table{

@@ -34,8 +34,12 @@ type WarpRegs struct {
 	// addrTable is the register cache address table: architectural
 	// register -> cache bank, or -1 when not resident.
 	addrTable [isa.MaxArchRegs]int16
-	// freeBanks is the unused queue of the address allocation unit.
+	// freeBanks is the unused queue of the address allocation unit: a ring
+	// buffer (at most cacheBanks entries are ever free), so the dequeue/
+	// enqueue cycle of allocate/release never reallocates.
 	freeBanks []int16
+	freeHead  int
+	freeLen   int
 	// fifo records allocation order for FIFO replacement (RFC/SHRF).
 	fifo []isa.Reg
 }
@@ -58,10 +62,16 @@ func (w *WarpRegs) Reset(cacheBanks int) {
 	for i := range w.addrTable {
 		w.addrTable[i] = -1
 	}
-	w.freeBanks = w.freeBanks[:0]
-	for i := 0; i < cacheBanks; i++ {
-		w.freeBanks = append(w.freeBanks, int16(i))
+	if cap(w.freeBanks) < cacheBanks {
+		w.freeBanks = make([]int16, cacheBanks)
+	} else {
+		w.freeBanks = w.freeBanks[:cacheBanks]
 	}
+	for i := 0; i < cacheBanks; i++ {
+		w.freeBanks[i] = int16(i)
+	}
+	w.freeHead = 0
+	w.freeLen = cacheBanks
 	w.fifo = w.fifo[:0]
 }
 
@@ -69,7 +79,7 @@ func (w *WarpRegs) Reset(cacheBanks int) {
 func (w *WarpRegs) CacheBank(r isa.Reg) int { return int(w.addrTable[r]) }
 
 // FreeSlots returns the number of unallocated cache banks.
-func (w *WarpRegs) FreeSlots() int { return len(w.freeBanks) }
+func (w *WarpRegs) FreeSlots() int { return w.freeLen }
 
 // allocate assigns a free cache bank to register r (Figure 8: dequeue the
 // unused queue, enqueue the occupied queue). Returns false when the
@@ -78,11 +88,15 @@ func (w *WarpRegs) allocate(r isa.Reg) bool {
 	if w.addrTable[r] != -1 {
 		return true
 	}
-	if len(w.freeBanks) == 0 {
+	if w.freeLen == 0 {
 		return false
 	}
-	bank := w.freeBanks[0]
-	w.freeBanks = w.freeBanks[1:]
+	bank := w.freeBanks[w.freeHead]
+	w.freeHead++
+	if w.freeHead == len(w.freeBanks) {
+		w.freeHead = 0
+	}
+	w.freeLen--
 	w.addrTable[r] = bank
 	w.Present.Set(int(r))
 	w.fifo = append(w.fifo, r)
@@ -98,7 +112,12 @@ func (w *WarpRegs) release(r isa.Reg) {
 	w.addrTable[r] = -1
 	w.Present.Clear(int(r))
 	w.Dirty.Clear(int(r))
-	w.freeBanks = append(w.freeBanks, bank)
+	tail := w.freeHead + w.freeLen
+	if tail >= len(w.freeBanks) {
+		tail -= len(w.freeBanks)
+	}
+	w.freeBanks[tail] = bank
+	w.freeLen++
 	for i, fr := range w.fifo {
 		if fr == r {
 			w.fifo = append(w.fifo[:i], w.fifo[i+1:]...)

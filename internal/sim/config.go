@@ -119,6 +119,9 @@ type Config struct {
 	// FlatScheduler disables two-level scheduling, making all resident
 	// warps schedulable (ablation; BL and Ideal use this implicitly).
 	FlatScheduler bool
+	// TrackDeactPCs records per-PC deactivation counts (diagnostic; costs a
+	// map update on the deactivation path, so it is off by default).
+	TrackDeactPCs bool
 
 	Seed uint64
 }

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
+)
+
+// buildTestSM compiles a kernel and wires an SM exactly like Run does,
+// returning it un-stepped.
+func buildTestSM(t testing.TB, c Config, virtual *isa.Program) *SM {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog, part, _, warps, _, err := Compile(&c, virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := buildSubsystem(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memsys.NewHierarchy(c.Mem)
+	activeCap := c.ActiveWarps
+	if activeCap > warps {
+		activeCap = warps
+	}
+	return newSM(&c, prog, part, rf, mem, warps, activeCap, 0)
+}
+
+// aluKernel is a long-running compute-only loop: it keeps the issue path
+// hot (collector claims, scoreboard checks, deactivation decisions) without
+// touching the memory hierarchy.
+func aluKernel(iters int) *isa.Program {
+	b := isa.NewBuilder("alu")
+	r := b.RegN(10)
+	for i := range r {
+		b.IMovImm(r[i], int64(i))
+	}
+	b.Loop(iters, func() {
+		b.FFMA(r[0], r[1], r[2], r[0])
+		b.FFMA(r[3], r[4], r[5], r[3])
+		b.FMul(r[6], r[0], r[3])
+		b.FAdd(r[7], r[6], r[8])
+	})
+	return b.MustBuild()
+}
+
+// TestRemoveActiveAllocationFree is the regression guard for the active-
+// list compaction: zero heap allocations per call, at any mix of active
+// warp states.
+func TestRemoveActiveAllocationFree(t *testing.T) {
+	c := DefaultConfig(DesignLTRF)
+	sm := buildTestSM(t, c, aluKernel(500))
+	// Drive the SM until the active set is populated.
+	for i := 0; i < 50 && sm.step(); i++ {
+	}
+	if len(sm.active) == 0 {
+		t.Fatal("active set empty after warmup")
+	}
+	if allocs := testing.AllocsPerRun(200, sm.removeActive); allocs != 0 {
+		t.Errorf("removeActive allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestIssueCycleSteadyStateAllocationFree guards the per-cycle issue path:
+// once warp bookkeeping has warmed up (scoreboards, bit-vectors, queues),
+// stepping a compute-bound SM must not allocate.
+func TestIssueCycleSteadyStateAllocationFree(t *testing.T) {
+	c := DefaultConfig(DesignLTRF)
+	c.MaxInstrs = 1 << 30
+	c.MaxCycles = 1 << 40
+	sm := buildTestSM(t, c, aluKernel(1_000_000))
+	for i := 0; i < 2000; i++ {
+		if !sm.step() {
+			t.Fatal("kernel finished during warmup; enlarge the loop")
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		sm.refillActive()
+		sm.issueCycle()
+		sm.cycle++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state issue cycle allocates %.2f times per cycle, want 0", allocs)
+	}
+}
+
+// TestFinishedCounterMatchesScan cross-checks the O(1) finished counter
+// against a direct state scan over the whole life of a kernel.
+func TestFinishedCounterMatchesScan(t *testing.T) {
+	c := DefaultConfig(DesignLTRF)
+	sm := buildTestSM(t, c, aluKernel(5))
+	for sm.step() {
+		n := 0
+		for _, w := range sm.warps {
+			if w.state == stateFinished {
+				n++
+			}
+		}
+		if n != sm.finished {
+			t.Fatalf("cycle %d: finished counter %d, scan %d", sm.cycle, sm.finished, n)
+		}
+	}
+	if !sm.allFinished() {
+		t.Fatal("kernel did not finish")
+	}
+	if sm.finished != len(sm.warps) {
+		t.Fatalf("finished counter %d at end, want %d", sm.finished, len(sm.warps))
+	}
+}
+
+// TestDeactPCTrackingGated asserts the diagnostic map is only populated
+// under the config flag.
+func TestDeactPCTrackingGated(t *testing.T) {
+	kernel := streamKernel(8, 400)
+
+	c := DefaultConfig(DesignLTRF)
+	c.MaxInstrs = 20_000
+	res, err := Run(c, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.deactByPC != nil {
+		t.Error("deactByPC populated without TrackDeactPCs")
+	}
+
+	c.TrackDeactPCs = true
+	res2, err := Run(c, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Deactivations != res.Deactivations {
+		t.Fatalf("tracking changed behavior: %d vs %d deactivations",
+			res2.Deactivations, res.Deactivations)
+	}
+	if res2.Deactivations > 0 && res2.deactByPC == nil {
+		t.Error("TrackDeactPCs set but deactByPC empty despite deactivations")
+	}
+}
+
+// TestRunWithCacheMatchesRun asserts cached compilation changes nothing
+// about simulation results, and that the cache actually dedups compiles.
+func TestRunWithCacheMatchesRun(t *testing.T) {
+	kernel := tiledKernel(40, 12)
+	cc := NewCompileCache()
+	for _, d := range []Design{DesignBL, DesignRFC, DesignLTRF, DesignLTRFPlus} {
+		c := DefaultConfig(d)
+		c.MaxInstrs = 10_000
+		c.MaxCycles = c.MaxInstrs * 12
+		plain, err := Run(c, kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lx := range []float64{1, 4} {
+			c.LatencyX = lx
+			c1, c2 := c, c
+			r1, err := RunWithCache(c1, kernel, cc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := RunWithCache(c2, kernel, cc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Cycles != r2.Cycles || r1.Instrs != r2.Instrs || r1.IPC != r2.IPC {
+				t.Errorf("%v@%gx: cached rerun differs: %+v vs %+v", d, lx, r1.Stats, r2.Stats)
+			}
+			if lx == 1 && (r1.Cycles != plain.Cycles || r1.IPC != plain.IPC) {
+				t.Errorf("%v: RunWithCache differs from Run: cycles %d vs %d",
+					d, r1.Cycles, plain.Cycles)
+			}
+		}
+	}
+}
+
+// BenchmarkRemoveActive measures the compaction with half the active set
+// pending removal.
+func BenchmarkRemoveActive(b *testing.B) {
+	c := DefaultConfig(DesignLTRF)
+	sm := buildTestSM(b, c, aluKernel(500))
+	for i := 0; i < 50 && sm.step(); i++ {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.removeActive()
+	}
+}

@@ -3,13 +3,10 @@ package sim
 import (
 	"fmt"
 
-	"ltrf/internal/cfg"
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
-	"ltrf/internal/liveness"
 	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
-	"ltrf/internal/regalloc"
 	"ltrf/internal/regfile"
 )
 
@@ -64,48 +61,12 @@ func Occupancy(demand, capB, maxWarps, minWarps int) (regCap, warps int) {
 // Compile lowers a (possibly virtual-register) kernel for a configuration:
 // register allocation under the occupancy-derived cap, dead-bit annotation,
 // and prefetch-unit formation where the design requires it.
+//
+// Occupancy is driven by the registers the compiler actually allocates
+// (linear-scan pressure), not the tighter max-live bound: allocating at
+// max-live would inject spill code even with no capacity cap.
 func Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Partition, demand, warps int, spills int, err error) {
-	// Occupancy is driven by the registers the compiler actually allocates
-	// (linear-scan pressure), not the tighter max-live bound: allocating at
-	// max-live would inject spill code even with no capacity cap.
-	demand, err = regalloc.Pressure(virtual)
-	if err != nil {
-		return nil, nil, 0, 0, 0, err
-	}
-	capB := c.EffectiveCapacityKB() * 1024
-	regCap, warps := Occupancy(demand, capB, c.MaxWarps, c.ActiveWarps)
-
-	prog, ast, err := allocateWithCap(virtual, regCap)
-	if err != nil {
-		return nil, nil, 0, 0, 0, err
-	}
-	spills = ast.SpilledRegs
-
-	g, err := cfg.Build(prog)
-	if err != nil {
-		return nil, nil, 0, 0, 0, err
-	}
-	liveness.Analyze(g).AnnotateDeadBits()
-
-	if c.Design.NeedsUnits() {
-		if c.Design.UsesStrands() {
-			part, err = core.FormStrands(prog, c.RegsPerInterval)
-		} else {
-			part, err = core.FormRegisterIntervals(prog, c.RegsPerInterval)
-		}
-		if err != nil {
-			return nil, nil, 0, 0, 0, err
-		}
-	}
-	return prog, part, demand, warps, spills, nil
-}
-
-func allocateWithCap(virtual *isa.Program, regCap int) (*isa.Program, regalloc.Stats, error) {
-	prog, st, err := regalloc.Allocate(virtual, regCap)
-	if err != nil {
-		return nil, regalloc.Stats{}, err
-	}
-	return prog, st, nil
+	return (*CompileCache)(nil).Compile(c, virtual)
 }
 
 // buildSubsystem constructs the register-file design under test.
@@ -145,10 +106,18 @@ func buildSubsystem(c *Config) (regfile.Subsystem, error) {
 // The kernel may use virtual registers; Run performs the maxregcount-style
 // allocation for the configuration's register file capacity.
 func Run(c Config, virtual *isa.Program) (*Result, error) {
+	return RunWithCache(c, virtual, nil)
+}
+
+// RunWithCache is Run with a compile cache: the kernel's allocation and
+// partition formation are memoized in cc (when non-nil) so that sweeps
+// re-simulating the same kernel under many timing configurations compile it
+// once. The simulation itself is unaffected — results are identical to Run.
+func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	prog, part, demand, warps, spills, err := Compile(&c, virtual)
+	prog, part, demand, warps, spills, err := cc.Compile(&c, virtual)
 	if err != nil {
 		return nil, err
 	}

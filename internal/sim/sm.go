@@ -48,6 +48,7 @@ type SM struct {
 	active    []int // warp IDs in the active scheduling set
 	inactive  []int // FIFO of inactive warp IDs
 	activeCap int
+	finished  int // warps in stateFinished (avoids an O(warps) scan per cycle)
 
 	cycle  int64
 	instrs int64
@@ -127,12 +128,7 @@ func (sm *SM) finalize() Stats {
 }
 
 func (sm *SM) allFinished() bool {
-	for _, w := range sm.warps {
-		if w.state != stateFinished {
-			return false
-		}
-	}
-	return true
+	return sm.finished == len(sm.warps)
 }
 
 // refillActive fills free active slots from the inactive pool. Ready warps
@@ -194,7 +190,7 @@ func (sm *SM) issueCycle() {
 		return
 	}
 	issued := 0
-	var toRemove []int // indices into sm.active
+	removed := 0 // active entries whose warp left stateActive this cycle
 
 	for k := 0; k < n && issued < sm.cfg.IssueWidth; k++ {
 		idx := (sm.rr + k) % n
@@ -230,15 +226,19 @@ func (sm *SM) issueCycle() {
 			if sm.twoLevel() && onLoad && ready-sm.cycle >= sm.cfg.DeactivateThreshold &&
 				sm.hasEarlierCandidate(ready) {
 				sm.deactivate(w, ready)
-				toRemove = append(toRemove, idx)
+				removed++
 			}
 			continue
 		}
 
 		// Structural hazard: instructions with register sources need a
-		// free operand collector.
-		if needsCollector(in) && sm.freeCollector() == -1 {
-			continue
+		// free operand collector; the claimed index is handed to issueInstr
+		// so it is not searched for twice.
+		col := -1
+		if needsCollector(in) {
+			if col = sm.freeCollector(); col == -1 {
+				continue
+			}
 		}
 
 		// Barrier.
@@ -248,23 +248,24 @@ func (sm *SM) issueCycle() {
 			sm.instrs++
 			w.state = stateBarrier
 			sm.barrierCount++
-			toRemove = append(toRemove, idx)
+			removed++
 			sm.maybeReleaseBarrier()
 			issued++
 			continue
 		}
 
-		sm.issueInstr(w, in)
+		sm.issueInstr(w, in, col)
 		issued++
 		if w.state == stateFinished {
+			sm.finished++
 			w.Regs.Reset(sm.cfg.RegsPerInterval)
-			toRemove = append(toRemove, idx)
+			removed++
 			sm.maybeReleaseBarrier()
 		}
 	}
 
-	if len(toRemove) > 0 {
-		sm.removeActive(toRemove)
+	if removed > 0 {
+		sm.removeActive()
 	}
 	// Greedy-then-oldest arbitration: keep priority on the current warp
 	// while it issues (issued > 0 keeps rr), advance otherwise. Greedy
@@ -324,22 +325,24 @@ func (sm *SM) deactivate(w *Warp, blockedUntil int64) {
 	sm.rf.OnDeactivate(sm.cycle, w.Regs)
 	sm.inactive = append(sm.inactive, w.local)
 	sm.st.Deactivations++
-	if sm.st.deactByPC == nil {
-		sm.st.deactByPC = map[int]int64{}
+	if sm.cfg.TrackDeactPCs {
+		if sm.st.deactByPC == nil {
+			sm.st.deactByPC = map[int]int64{}
+		}
+		sm.st.deactByPC[w.pc]++
 	}
-	sm.st.deactByPC[w.pc]++
 }
 
-// removeActive deletes the given indices from the active list, preserving
-// the order of the remaining entries.
-func (sm *SM) removeActive(indices []int) {
-	drop := map[int]bool{}
-	for _, i := range indices {
-		drop[i] = true
-	}
+// removeActive compacts the active list, dropping every warp that left
+// stateActive during the current issue cycle (deactivated, at a barrier, or
+// finished) while preserving the order of the remaining entries. Outside of
+// issueCycle every listed warp is stateActive, so compacting by state is
+// exactly equivalent to deleting the indices collected during the scan —
+// without allocating an index set per call.
+func (sm *SM) removeActive() {
 	out := sm.active[:0]
-	for i, wid := range sm.active {
-		if !drop[i] {
+	for _, wid := range sm.active {
+		if sm.warps[wid].state == stateActive {
 			out = append(out, wid)
 		}
 	}
@@ -347,18 +350,14 @@ func (sm *SM) removeActive(indices []int) {
 }
 
 // maybeReleaseBarrier releases all barrier-waiting warps once every
-// non-finished warp has arrived.
+// non-finished warp has arrived. barrierCount tracks the warps in
+// stateBarrier and finished those in stateFinished, so the arrival check is
+// O(1); only the actual release walks the warp list.
 func (sm *SM) maybeReleaseBarrier() {
 	if sm.barrierCount == 0 {
 		return
 	}
-	waitingOrDone := 0
-	for _, w := range sm.warps {
-		if w.state == stateBarrier || w.state == stateFinished {
-			waitingOrDone++
-		}
-	}
-	if waitingOrDone != len(sm.warps) {
+	if sm.barrierCount+sm.finished != len(sm.warps) {
 		return
 	}
 	for _, w := range sm.warps {
@@ -374,7 +373,9 @@ func (sm *SM) maybeReleaseBarrier() {
 
 // issueInstr models one instruction's timing: operand collection through the
 // register subsystem, execution or memory access, and result write-back.
-func (sm *SM) issueInstr(w *Warp, in *isa.Instr) {
+// col is the operand collector issueCycle already claimed for the
+// instruction (-1 when it has no register sources and needs none).
+func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 	sm.srcBuf = sm.srcBuf[:0]
 	nsrc := in.Op.NumSrcSlots()
 	for s := 0; s < nsrc; s++ {
@@ -386,10 +387,10 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr) {
 	opReady := sm.cycle
 	if len(sm.srcBuf) > 0 {
 		opReady = sm.rf.ReadOperands(sm.cycle, w.Regs, sm.srcBuf)
-		// The instruction occupies an operand collector until all its
+		// The instruction occupies the operand collector until all its
 		// operands have been gathered.
-		if c := sm.freeCollector(); c != -1 {
-			sm.collectors[c] = opReady
+		if col != -1 {
+			sm.collectors[col] = opReady
 		}
 	}
 

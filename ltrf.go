@@ -259,8 +259,21 @@ type Experiment = exp.Spec
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = exp.Table
 
-// ExperimentOptions control experiment cost.
+// ExperimentOptions control experiment cost and concurrency: Parallelism
+// bounds the number of concurrently simulated points (0 = GOMAXPROCS), and
+// Engine selects the memo cache (nil = a shared process-wide engine).
+// Tables are rendered serially from memoized results, so output is
+// byte-identical at any parallelism.
 type ExperimentOptions = exp.Options
+
+// ExperimentEngine memoizes simulation points and compiled kernels across
+// experiments and evaluates declared point sets on a bounded worker pool.
+type ExperimentEngine = exp.Engine
+
+// NewExperimentEngine returns an engine with its own (empty) caches, for
+// callers who want to isolate or bound the memo instead of sharing the
+// process-wide one.
+func NewExperimentEngine() *ExperimentEngine { return exp.NewEngine() }
 
 // Experiments lists every table/figure driver in paper order.
 func Experiments() []Experiment { return exp.Registry() }
@@ -274,7 +287,11 @@ func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
 	return s.Run(o)
 }
 
-// RunAllExperiments regenerates every artifact, writing rendered tables to w.
+// RunAllExperiments regenerates every artifact, writing rendered tables to
+// w. All experiments share o's engine (the process-wide one when o.Engine
+// is nil), so points common to several figures — e.g. the config-#1 BL
+// baseline of Figures 3, 9, and 10, or the latency sweeps Figures 11 and
+// 14 share — are simulated once for the whole batch.
 func RunAllExperiments(w io.Writer, o ExperimentOptions) error {
 	for _, s := range exp.Registry() {
 		t, err := s.Run(o)

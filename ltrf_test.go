@@ -135,6 +135,34 @@ func TestRunAllExperimentsQuick(t *testing.T) {
 	}
 }
 
+// TestRunAllExperimentsParallelDeterminism exercises the experiment engine
+// end-to-end through the public API: the full registry regenerated with 8
+// workers on a cold engine must be byte-identical to a single-worker run on
+// another cold engine.
+func TestRunAllExperimentsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	render := func(parallelism int) string {
+		var sb strings.Builder
+		o := ltrf.ExperimentOptions{
+			Quick:       true,
+			Workloads:   []string{"btree", "sgemm"},
+			Parallelism: parallelism,
+			Engine:      ltrf.NewExperimentEngine(),
+		}
+		if err := ltrf.RunAllExperiments(&sb, o); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Error("parallel registry output differs from serial")
+	}
+}
+
 func TestSimulateGPU(t *testing.T) {
 	kernel := buildDemoKernel(t)
 	res, err := ltrf.SimulateGPU(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2, MaxInstrs: 6000}, 3, kernel)
