@@ -5,6 +5,7 @@
 //
 //	ltrf-experiments -list
 //	ltrf-experiments -run figure9
+//	ltrf-experiments -run designspace -design LTRF,comp,regdem
 //	ltrf-experiments -all [-quick] [-parallel 8] [-workloads sgemm,stencil,btree]
 //
 // Experiments declare their simulation points up front and evaluate them on
@@ -31,12 +32,16 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		subset   = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
+		designs  = flag.String("design", "", "comma-separated design subset for registry-driven experiments like designspace (default: every registered design)")
 	)
 	flag.Parse()
 
 	o := ltrf.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
+	}
+	if *designs != "" {
+		o.Designs = strings.Split(*designs, ",")
 	}
 
 	switch {

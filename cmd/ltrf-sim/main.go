@@ -16,20 +16,21 @@ import (
 	"ltrf"
 )
 
-var designs = map[string]ltrf.Design{
-	"BL":         ltrf.BL,
-	"RFC":        ltrf.RFC,
-	"SHRF":       ltrf.SHRF,
-	"LTRF":       ltrf.LTRF,
-	"LTRF+":      ltrf.LTRFPlus,
-	"LTRFSTRAND": ltrf.LTRFStrand,
-	"IDEAL":      ltrf.Ideal,
+// resolveDesign matches a -design argument against the design registry
+// (case-insensitive via DesignByName), with the historical "LTRFstrand"
+// spelling kept as an alias. The error for an unknown design lists every
+// registered name.
+func resolveDesign(s string) (ltrf.Design, error) {
+	if strings.EqualFold(s, "LTRFstrand") {
+		return ltrf.LTRFStrand, nil
+	}
+	return ltrf.DesignByName(s)
 }
 
 func main() {
 	var (
 		workload = flag.String("workload", "sgemm", "workload name (see -list)")
-		design   = flag.String("design", "LTRF", "BL | RFC | SHRF | LTRF | LTRF+ | LTRFstrand | Ideal")
+		design   = flag.String("design", "LTRF", "registered design name (BL | RFC | SHRF | LTRF | LTRF+ | LTRF(strand) | Ideal | comp | regdem | ...)")
 		tech     = flag.Int("tech", 1, "Table 2 main register file config (1..7)")
 		latency  = flag.Float64("latency", 1.0, "main RF latency multiplier")
 		warps    = flag.Int("active", 0, "active warps (0 = Table 3 default of 8)")
@@ -54,9 +55,9 @@ func main() {
 		return
 	}
 
-	d, ok := designs[strings.ToUpper(*design)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ltrf-sim: unknown design %q\n", *design)
+	d, err := resolveDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
 		os.Exit(2)
 	}
 	w, err := ltrf.WorkloadByName(*workload)

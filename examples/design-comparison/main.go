@@ -1,0 +1,58 @@
+// Design comparison: sweep every register-file design in the open registry
+// — the paper's seven comparison points plus the comp (static data
+// compression) and regdem (shared-memory register demotion) plugins — over
+// one register-sensitive workload on the 8x TFET-SRAM technology point, and
+// show how each trades capacity, latency tolerance, and occupancy.
+//
+// Any design registered with the internal registry (regfile.Register) shows
+// up here automatically: the loop below enumerates ltrf.Designs() instead
+// of naming designs. The designspace experiment
+// (`ltrf-experiments -run designspace`) renders the same comparison across
+// the full evaluation suite.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltrf"
+)
+
+func main() {
+	w, err := ltrf.WorkloadByName("sgemm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := w.Build(3)
+
+	const budget = 30_000
+
+	// Baseline: the conventional register file on the configuration-#1
+	// 256KB SRAM; every design below is normalized against it.
+	base, err := ltrf.Simulate(ltrf.SimOptions{
+		Design: ltrf.BL, TechConfig: 1, MaxInstrs: budget,
+	}, kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s, baseline BL on config #1: IPC %.3f, %d warps\n\n",
+		w.Name, base.IPC, base.Warps)
+
+	fmt.Printf("%-14s %7s %7s %6s %9s\n", "design", "IPC", "vs BL#1", "warps", "RF reads")
+	for _, name := range ltrf.Designs() {
+		res, err := ltrf.Simulate(ltrf.SimOptions{
+			Design: ltrf.Design(name), TechConfig: 6, MaxInstrs: budget,
+		}, kernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %7.3f %6.2fx %6d %9d\n",
+			name, res.IPC, res.IPC/base.IPC, res.Warps, res.RF.MainReads)
+	}
+
+	fmt.Printf("\nAll %d registered designs run the 8x-capacity TFET-SRAM point (config #6).\n",
+		len(ltrf.Designs()))
+	fmt.Println("LTRF variants hide the slow cells behind PREFETCH; comp shortens")
+	fmt.Println("compressible accesses; regdem buys occupancy with fixed-latency")
+	fmt.Println("shared-memory spills; Ideal bounds what latency tolerance can earn.")
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
 	"ltrf/internal/workloads"
 )
@@ -82,6 +83,9 @@ type Options struct {
 	// Workloads restricts simulation-based experiments to the named
 	// workloads (nil = the paper's 14-workload evaluation subset).
 	Workloads []string
+	// Designs restricts registry-driven experiments (designspace) to the
+	// named register-file designs (nil = every registered design).
+	Designs []string
 	// Parallelism bounds the number of concurrently simulated points
 	// (0 = GOMAXPROCS). Tables are rendered serially from memoized
 	// results, so output is byte-identical at any parallelism.
@@ -98,6 +102,25 @@ func (o Options) budget() int64 {
 		return 12_000
 	}
 	return 40_000
+}
+
+// designSet resolves the design-column list for registry-driven
+// experiments: the Options' subset when given (resolved against the
+// registry, so spellings canonicalize and an unknown name fails with the
+// registered-designs listing), every registered design otherwise.
+func (o Options) designSet() ([]string, error) {
+	if len(o.Designs) == 0 {
+		return regfile.Names(), nil
+	}
+	out := make([]string, len(o.Designs))
+	for i, n := range o.Designs {
+		d, err := regfile.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d.Name
+	}
+	return out, nil
 }
 
 // evalSet resolves the workload list for simulation experiments.
@@ -148,6 +171,7 @@ func Registry() []Spec {
 		{"figure13", "Sensitivity to active warp count", Figure13},
 		{"figure14", "LTRF vs. software-managed register caching schemes", Figure14},
 		{"overheads", "LTRF code-size, storage, area, and power overheads", Overheads},
+		{"designspace", "IPC and RF power of every registered design (open registry)", DesignSpace},
 	}
 }
 

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ltrf/internal/regfile"
+)
+
+// TestBuiltinDesignTablesGolden is the refactor regression gate: the seven
+// built-in designs, resolved through the open registry, must produce
+// byte-identical experiment tables to the pre-registry enum/switch
+// implementation. The golden file was captured from the construction-switch
+// code on the same options (quick budget, sgemm/btree/vectoradd) and covers
+// every pre-existing experiment; designspace is excluded because it did not
+// exist before the registry.
+func TestBuiltinDesignTablesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want, err := os.ReadFile("testdata/builtin_quick_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{
+		Quick:     true,
+		Workloads: []string{"sgemm", "btree", "vectoradd"},
+		Engine:    NewEngine(),
+	}
+	var sb strings.Builder
+	for _, s := range Registry() {
+		if s.ID == "designspace" {
+			continue
+		}
+		tab, err := s.Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		tab.Fprint(&sb)
+		sb.WriteString("\n")
+	}
+	if got := sb.String(); got != string(want) {
+		t.Errorf("experiment tables diverged from the pre-registry golden output\n--- got ---\n%s\n--- want ---\n%s",
+			got, string(want))
+	}
+}
+
+// TestDesignSpaceIncludesAllRegisteredDesigns asserts the acceptance
+// criterion: designspace renders one column per registered design — the
+// seven built-ins plus comp and regdem — without any hard-coded design
+// list.
+func TestDesignSpaceIncludesAllRegisteredDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{Quick: true, Workloads: []string{"sgemm"}, Engine: NewEngine()}
+	tab, err := DesignSpace(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := regfile.Names()
+	if len(names) < 9 {
+		t.Fatalf("registry has %d designs, want >= 9", len(names))
+	}
+	if len(tab.Headers) != 1+len(names) {
+		t.Fatalf("designspace has %d columns, want 1+%d: %v", len(tab.Headers), len(names), tab.Headers)
+	}
+	for i, n := range names {
+		if tab.Headers[1+i] != n {
+			t.Errorf("column %d = %q, want registry design %q", 1+i, tab.Headers[1+i], n)
+		}
+	}
+	for _, must := range []string{"comp", "regdem", "LTRF", "BL"} {
+		found := false
+		for _, h := range tab.Headers {
+			if h == must {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("designspace missing %q column", must)
+		}
+	}
+	if _, ok := tab.Cell("geomean IPC", 1); !ok {
+		t.Error("designspace missing geomean IPC row")
+	}
+	if _, ok := tab.Cell("mean RF power", 1); !ok {
+		t.Error("designspace missing mean RF power row")
+	}
+}
+
+// TestDesignSpaceDesignFilter asserts Options.Designs (the -design flag)
+// restricts the columns and that an unknown design fails with the
+// registered-names listing.
+func TestDesignSpaceDesignFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Options{
+		Quick:     true,
+		Workloads: []string{"btree"},
+		Designs:   []string{"BL", "comp"},
+		Engine:    NewEngine(),
+	}
+	tab, err := DesignSpace(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Headers) != 3 || tab.Headers[1] != "BL" || tab.Headers[2] != "comp" {
+		t.Errorf("filtered headers = %v, want [Workload BL comp]", tab.Headers)
+	}
+
+	o.Designs = []string{"bogus"}
+	if _, err := DesignSpace(o); err == nil {
+		t.Error("unknown design in Options.Designs must fail")
+	} else if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "regdem") {
+		t.Errorf("unknown-design error does not list registered designs: %v", err)
+	}
+}

@@ -16,19 +16,20 @@ import (
 
 // Breakdown decomposes register-file energy for one simulation.
 type Breakdown struct {
-	MainDynamic  float64 // main RF accesses
-	MainLeakage  float64
-	CacheDynamic float64 // register file cache accesses
-	CacheLeakage float64
-	WCBDynamic   float64 // warp control block lookups (LTRF overhead §4.3)
-	WCBLeakage   float64
-	XbarDynamic  float64 // prefetch/writeback transfers
+	MainDynamic   float64 // main RF accesses
+	MainLeakage   float64
+	CacheDynamic  float64 // register file cache accesses
+	CacheLeakage  float64
+	WCBDynamic    float64 // warp control block lookups (LTRF overhead §4.3)
+	WCBLeakage    float64
+	XbarDynamic   float64 // prefetch/writeback transfers
+	SharedDynamic float64 // shared-memory spill partition accesses (regdem)
 }
 
 // Total returns the summed energy.
 func (b Breakdown) Total() float64 {
 	return b.MainDynamic + b.MainLeakage + b.CacheDynamic + b.CacheLeakage +
-		b.WCBDynamic + b.WCBLeakage + b.XbarDynamic
+		b.WCBDynamic + b.WCBLeakage + b.XbarDynamic + b.SharedDynamic
 }
 
 // Model holds the technology parameters for the power computation.
@@ -40,6 +41,11 @@ type Model struct {
 	// HasCache and HasWCB select which structures exist in the design.
 	HasCache bool
 	HasWCB   bool
+	// MainDynScale is the dynamic energy of one COMPRESSED main-RF access
+	// relative to an uncompressed one (0 means 1.0, i.e. no compression);
+	// it applies only to the Stats.CompressedAccesses fraction. Design
+	// descriptors provide it via their MainDynScale hook (NewModelFor).
+	MainDynScale float64
 }
 
 // relative energy constants, in units of one baseline main-RF access.
@@ -54,6 +60,10 @@ const (
 	// xbarTransferEnergy: moving one 1024-bit register across the narrow
 	// crossbar between RF levels.
 	xbarTransferEnergy = 0.15
+	// sharedAccessEnergy: one access to the shared-memory scratchpad
+	// partition regdem spills registers to (a ~32KB banked SRAM, cheaper
+	// than the heavily banked main RF, pricier than the 16KB cache).
+	sharedAccessEnergy = 0.18
 	// leakage of the 16KB cache + WCB relative to baseline main RF
 	// leakage (capacity-proportional: 16KB/256KB plus WCB overhead).
 	cacheLeakFraction = 16.0 / 256.0
@@ -69,6 +79,16 @@ func NewModel(main memtech.Params, cached bool) Model {
 	return Model{Main: main, CacheRegs: 128, HasCache: cached, HasWCB: cached}
 }
 
+// NewModelFor builds the power model from a design's registry descriptor,
+// applying its energy hook against the technology point.
+func NewModelFor(d regfile.Descriptor, main memtech.Params) Model {
+	m := NewModel(main, d.IsCached)
+	if d.MainDynScale != nil {
+		m.MainDynScale = d.MainDynScale(main)
+	}
+	return m
+}
+
 // Compute turns simulator event counts into an energy breakdown.
 // cycles is the simulated duration; st the register subsystem counters.
 func (m Model) Compute(cycles int64, st regfile.Stats) Breakdown {
@@ -76,7 +96,15 @@ func (m Model) Compute(cycles int64, st regfile.Stats) Breakdown {
 
 	mainAccesses := float64(st.MainAccesses())
 	b.MainDynamic = mainAccesses * m.Main.DynEnergyPerAccess()
+	if m.MainDynScale > 0 && m.MainDynScale != 1 {
+		compressed := float64(st.CompressedAccesses)
+		if compressed > mainAccesses {
+			compressed = mainAccesses
+		}
+		b.MainDynamic = (mainAccesses - compressed + compressed*m.MainDynScale) * m.Main.DynEnergyPerAccess()
+	}
 	b.MainLeakage = float64(cycles) * m.Main.LeakPowerPerCycle() * baselineLeakPerCycle
+	b.SharedDynamic = float64(st.SpillAccesses) * sharedAccessEnergy
 
 	if m.HasCache {
 		cacheAccesses := float64(st.CacheReads + st.CacheWrites)

@@ -100,8 +100,8 @@ func TestAreaOverheadMatchesPaper(t *testing.T) {
 }
 
 func TestBreakdownTotalIsSum(t *testing.T) {
-	b := Breakdown{1, 2, 3, 4, 5, 6, 7}
-	if b.Total() != 28 {
-		t.Errorf("Total = %v, want 28", b.Total())
+	b := Breakdown{1, 2, 3, 4, 5, 6, 7, 8}
+	if b.Total() != 36 {
+		t.Errorf("Total = %v, want 36", b.Total())
 	}
 }

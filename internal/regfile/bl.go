@@ -3,7 +3,26 @@ package regfile
 import (
 	"ltrf/internal/bitvec"
 	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
 )
+
+func init() {
+	Register(Descriptor{
+		Name: "BL",
+		New:  func(ctx BuildContext) (Subsystem, error) { return NewBL(ctx.Config), nil },
+	})
+	Register(Descriptor{
+		Name: "Ideal",
+		// Ideal keeps the studied technology's CAPACITY (via occupancy) but
+		// accesses at the baseline SRAM's timing with no multiplier — "the
+		// same capacity ... but also the same latency as the baseline
+		// register file" (§2.2).
+		Timing: func(memtech.Params, float64) (memtech.Params, float64) {
+			return memtech.MustConfig(1), 1.0
+		},
+		New: func(ctx BuildContext) (Subsystem, error) { return NewIdeal(ctx.Config), nil },
+	})
+}
 
 // BL is the conventional non-cached register file: every operand read and
 // result write goes to the banked main register file through the operand
@@ -37,10 +56,9 @@ func NewIdeal(cfg Config) *BL {
 	return b
 }
 
-func (b *BL) Name() string     { return b.name }
-func (b *BL) NeedsUnits() bool { return false }
-func (b *BL) Stats() *Stats    { return &b.st }
-func (b *BL) Config() Config   { return b.cfg }
+func (b *BL) Name() string   { return b.name }
+func (b *BL) Stats() *Stats  { return &b.st }
+func (b *BL) Config() Config { return b.cfg }
 
 // ReadOperands reads every source from the main RF banks in parallel,
 // returning when the slowest arrives at the operand collector.

@@ -1,0 +1,158 @@
+package regfile
+
+import (
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
+)
+
+func init() {
+	Register(Descriptor{
+		Name: "comp",
+		// No register-file cache: like BL, comp gets the 16KB cache budget
+		// added to its main RF for fairness.
+		MainDynScale: func(memtech.Params) float64 { return compDynScale },
+		New: func(ctx BuildContext) (Subsystem, error) {
+			return NewComp(ctx.Config, ctx.Prog), nil
+		},
+	})
+}
+
+// compDynScale is the main-RF dynamic energy of one COMPRESSED access
+// relative to an uncompressed one: a compressed register activates roughly
+// half the bitlines (and, for DWM, shifts shorter distances). Angerd et al.
+// report 15-25% total RF dynamic-energy reduction at their compression
+// coverage; a 0.6 per-compressed-access factor reproduces that band at the
+// coverage our classifier reaches.
+const compDynScale = 0.6
+
+// Comp is a main register file using static data compression, after Angerd
+// et al., "A GPU Register File Using Static Data Compression" (ICPP 2016).
+// The compiler classifies each architectural register by the values its
+// definitions can produce; registers whose defs are all narrow-value
+// producers (immediates, integer address/index arithmetic, predicates,
+// constant-bank loads) are stored compressed. A compressed access reads
+// fewer bitlines and so completes in roughly half the bank latency — the
+// benefit grows with the slow-cell technologies of Table 2 — while
+// incompressible (floating-point and loaded) values behave exactly like BL.
+// There is no register cache, no prefetch, and no warp activation cost.
+type Comp struct {
+	cfg   Config
+	banks *BankSet
+	net   int64
+	// savings is the bank-latency reduction of a compressed access:
+	// full latency minus the compressed latency of max(1, full/2) cycles.
+	savings      int64
+	compressible bitvec.Vector
+	st           Stats
+}
+
+// NewComp builds the compressed register file for one kernel. prog may be
+// nil (no compressibility metadata), in which case every access takes the
+// uncompressed path.
+func NewComp(cfg Config, prog *isa.Program) *Comp {
+	full := int64(cfg.MainBankCycles())
+	compressed := full / 2
+	if compressed < 1 {
+		compressed = 1
+	}
+	return &Comp{
+		cfg:          cfg,
+		banks:        NewBankSet(cfg.Banks, cfg.MainBankInitiation(), cfg.MainBankCycles()),
+		net:          int64(cfg.MainNetCycles()),
+		savings:      full - compressed,
+		compressible: compressibleRegs(prog),
+	}
+}
+
+// compressibleRegs derives the per-register compressibility map from the
+// kernel: a register compresses when every instruction defining it produces
+// a narrow or low-entropy value. Integer ALU results (addresses, indices,
+// masks), predicates, and constant-bank loads qualify; floating-point
+// arithmetic and data loaded from memory do not. Registers with no def in
+// the kernel (live-in parameters) are conservatively incompressible.
+func compressibleRegs(prog *isa.Program) bitvec.Vector {
+	var defined, incompressible bitvec.Vector
+	if prog == nil {
+		return bitvec.Vector{}
+	}
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		if !in.Op.WritesDst() || !in.Dst.Valid() || !in.Dst.IsArch() {
+			continue
+		}
+		defined.Set(int(in.Dst))
+		if !compressibleDef(in.Op) {
+			incompressible.Set(int(in.Dst))
+		}
+	}
+	return defined.Diff(incompressible)
+}
+
+// compressibleDef reports whether an opcode's result is a narrow-value
+// producer.
+func compressibleDef(op isa.Opcode) bool {
+	switch op {
+	case isa.OpIAdd, isa.OpIAddImm, isa.OpISub, isa.OpIMul, isa.OpIMad,
+		isa.OpIMov, isa.OpIMovImm, isa.OpShl, isa.OpShr,
+		isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSetP, isa.OpSetPImm,
+		isa.OpLdConst:
+		return true
+	}
+	return false
+}
+
+func (c *Comp) Name() string   { return "comp" }
+func (c *Comp) Stats() *Stats  { return &c.st }
+func (c *Comp) Config() Config { return c.cfg }
+
+// ReadOperands reads every source from the main RF banks; compressed
+// registers complete `savings` cycles early (never before now+1, and bank
+// port occupancy is unchanged — compression shortens the read, it does not
+// add ports).
+func (c *Comp) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
+	done := now
+	for _, r := range srcs {
+		c.st.MainReads++
+		t := c.banks.Access(now, mainBank(c.cfg.Banks, w.ID, int(r)))
+		if c.compressible.Test(int(r)) {
+			c.st.CompressedAccesses++
+			t -= c.savings
+			if t < now+1 {
+				t = now + 1
+			}
+		}
+		t += c.net
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// WriteResult writes the destination to its main RF bank through the
+// buffered write queue, exactly like BL; a compressed write is counted for
+// the energy model but its buffered latency is unchanged.
+func (c *Comp) WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64 {
+	c.st.MainWrites++
+	if c.compressible.Test(int(dst)) {
+		c.st.CompressedAccesses++
+	}
+	return c.banks.Initiation()
+}
+
+// OnUnitEnter is a no-op: comp has no prefetch units.
+func (c *Comp) OnUnitEnter(now int64, w *WarpRegs, unitID int, ws bitvec.Vector) int64 {
+	w.CurUnit = unitID
+	return now
+}
+
+// OnActivate is free: all registers live in the main RF permanently.
+func (c *Comp) OnActivate(now int64, w *WarpRegs) int64 { return now }
+
+// OnDeactivate is free for the same reason.
+func (c *Comp) OnDeactivate(now int64, w *WarpRegs) int64 { return now }
+
+// Compressible exposes the compressibility map (diagnostics and tests).
+func (c *Comp) Compressible() bitvec.Vector { return c.compressible }

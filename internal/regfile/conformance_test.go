@@ -1,0 +1,319 @@
+package regfile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+)
+
+// conformanceKernel is a small arch-register kernel with enough registers
+// and loop structure to form several prefetch units under both schemes.
+func conformanceKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("conformance")
+	r := b.RegN(24)
+	for i := range r {
+		b.IMovImm(r[i], int64(i))
+	}
+	b.Loop(6, func() {
+		b.LdGlobal(r[0], r[1], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 20})
+		b.FFMA(r[4], r[0], r[10], r[4])
+		b.FFMA(r[5], r[0], r[11], r[5])
+		b.Loop(4, func() {
+			b.FFMA(r[12], r[13], r[14], r[12])
+			b.FFMA(r[15], r[16], r[17], r[15])
+			b.FAdd(r[18], r[12], r[15])
+		})
+		b.IAddImm(r[1], r[1], 4)
+		b.StGlobal(r[1], r[18], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20})
+	})
+	return b.MustBuild()
+}
+
+// buildConformance constructs one registered design with a matching
+// partition through the registry Build path.
+func buildConformance(t *testing.T, d Descriptor, prog *isa.Program) Subsystem {
+	t.Helper()
+	var part *core.Partition
+	var err error
+	if d.NeedsUnits {
+		if d.UsesStrands {
+			part, err = core.FormStrands(prog, DefaultCacheBanks)
+		} else {
+			part, err = core.FormRegisterIntervals(prog, DefaultCacheBanks)
+		}
+		if err != nil {
+			t.Fatalf("%s: partition: %v", d.Name, err)
+		}
+	}
+	sub, err := Build(d.Name, BuildContext{
+		Config: Baseline(2.0, DefaultCacheBanks),
+		Prog:   prog,
+		Part:   part,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatalf("%s: Build: %v", d.Name, err)
+	}
+	return sub
+}
+
+// checkStatsNonNegative asserts every Stats counter is >= 0, by reflection
+// so new counters are covered automatically.
+func checkStatsNonNegative(t *testing.T, name string, st *Stats) {
+	t.Helper()
+	v := reflect.ValueOf(*st)
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Int64 {
+			continue
+		}
+		if v.Field(i).Int() < 0 {
+			t.Errorf("%s: Stats.%s = %d, must never go negative", name, tp.Field(i).Name, v.Field(i).Int())
+		}
+	}
+}
+
+// TestSubsystemConformance drives every registered design — built through
+// the registry exactly like the simulator does — through a deterministic
+// mix of activations, unit entries, operand reads, result writes, and
+// deactivations, asserting the Subsystem timing contract: event methods
+// return absolute cycles >= now, WriteResult returns a non-negative
+// latency, and Stats counters never go negative.
+func TestSubsystemConformance(t *testing.T) {
+	prog := conformanceKernel(t)
+	nregs := prog.RegCount()
+	for _, d := range Descriptors() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			sub := buildConformance(t, d, prog)
+			if sub.Name() == "" {
+				t.Fatal("empty subsystem name")
+			}
+			if err := sub.Config().Validate(); err != nil {
+				t.Fatalf("invalid config: %v", err)
+			}
+
+			// Working sets for unit entries: cycle through three synthetic
+			// sets so every design sees residency churn.
+			ws := []bitvec.Vector{
+				bitvec.New(0, 1, 2, 3, 4, 5, 10, 11),
+				bitvec.New(4, 5, 12, 13, 14, 15, 16, 17),
+				bitvec.New(1, 18, 19, 20, 21, 22, 23),
+			}
+
+			warps := []*WarpRegs{NewWarpRegs(0, DefaultCacheBanks), NewWarpRegs(1, DefaultCacheBanks)}
+			rng := uint64(0x9E3779B97F4A7C15)
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+
+			now := int64(10)
+			srcs := make([]isa.Reg, 0, 3)
+			for step := 0; step < 600; step++ {
+				w := warps[step%len(warps)]
+				switch step % 10 {
+				case 0:
+					if got := sub.OnActivate(now, w); got < now {
+						t.Fatalf("step %d: OnActivate returned %d < now %d", step, got, now)
+					}
+				case 3:
+					unit := next(len(ws))
+					if got := sub.OnUnitEnter(now, w, unit, ws[unit]); got < now {
+						t.Fatalf("step %d: OnUnitEnter returned %d < now %d", step, got, now)
+					}
+				case 7:
+					if got := sub.OnDeactivate(now, w); got < now {
+						t.Fatalf("step %d: OnDeactivate returned %d < now %d", step, got, now)
+					}
+				default:
+					srcs = srcs[:0]
+					for k := 0; k <= step%3; k++ {
+						srcs = append(srcs, isa.Reg(next(nregs)))
+					}
+					if got := sub.ReadOperands(now, w, srcs); got < now {
+						t.Fatalf("step %d: ReadOperands returned %d < now %d", step, got, now)
+					}
+					if lat := sub.WriteResult(now, w, isa.Reg(next(nregs))); lat < 0 {
+						t.Fatalf("step %d: WriteResult returned negative latency %d", step, lat)
+					}
+				}
+				checkStatsNonNegative(t, d.Name, sub.Stats())
+				now += int64(1 + next(3))
+			}
+		})
+	}
+}
+
+// TestNeedsUnitsDesignsRejectNilPartition asserts the registry Build path
+// refuses to construct a partition-consuming design without one, with an
+// actionable error.
+func TestNeedsUnitsDesignsRejectNilPartition(t *testing.T) {
+	prog := conformanceKernel(t)
+	for _, d := range Descriptors() {
+		if !d.NeedsUnits {
+			continue
+		}
+		_, err := Build(d.Name, BuildContext{
+			Config: Baseline(1.0, DefaultCacheBanks),
+			Prog:   prog,
+			Part:   nil,
+			Seed:   1,
+		})
+		if err == nil {
+			t.Errorf("%s: Build with nil partition must fail", d.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "partition") || !strings.Contains(err.Error(), d.Name) {
+			t.Errorf("%s: unhelpful nil-partition error: %v", d.Name, err)
+		}
+	}
+}
+
+// TestLookupUnknownListsRegisteredDesigns asserts the unknown-design error
+// names every registered design, so a typo at any layer (config, flag,
+// experiment option) is self-explanatory.
+func TestLookupUnknownListsRegisteredDesigns(t *testing.T) {
+	_, err := Lookup("no-such-design")
+	if err == nil {
+		t.Fatal("Lookup of unknown design must fail")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-design error does not list %q: %v", name, err)
+		}
+	}
+}
+
+// TestLookupIsCaseInsensitiveAndCanonical asserts every layer accepts any
+// casing of a design name and canonicalizes it to the registered spelling.
+func TestLookupIsCaseInsensitiveAndCanonical(t *testing.T) {
+	for arg, want := range map[string]string{
+		"ltrf": "LTRF", "Comp": "comp", "REGDEM": "regdem", "ideal": "Ideal",
+		"ltrf(strand)": "LTRF(strand)",
+	} {
+		d, err := Lookup(arg)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", arg, err)
+			continue
+		}
+		if d.Name != want {
+			t.Errorf("Lookup(%q).Name = %q, want canonical %q", arg, d.Name, want)
+		}
+	}
+}
+
+// TestRegistryHasBuiltinsAndPlugins pins the registered set: the paper's
+// seven comparison points plus the comp and regdem plugins.
+func TestRegistryHasBuiltinsAndPlugins(t *testing.T) {
+	want := []string{"BL", "Ideal", "LTRF", "LTRF(strand)", "LTRF+", "RFC", "SHRF", "comp", "regdem"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", got, want)
+	}
+	have := map[string]bool{}
+	for _, n := range got {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("design %q not registered", n)
+		}
+	}
+}
+
+// TestRegisterRejectsDuplicatesAndMalformed asserts registration-time
+// validation panics (registration happens in init; a bad descriptor is a
+// programming error).
+func TestRegisterRejectsDuplicatesAndMalformed(t *testing.T) {
+	mustPanic := func(name string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	newFn := func(ctx BuildContext) (Subsystem, error) { return NewBL(ctx.Config), nil }
+	mustPanic("duplicate", Descriptor{Name: "BL", New: newFn})
+	mustPanic("empty name", Descriptor{New: newFn})
+	mustPanic("nil constructor", Descriptor{Name: "broken"})
+	mustPanic("strands without units", Descriptor{Name: "broken2", UsesStrands: true, New: newFn})
+}
+
+// TestCompCompressibilityClassification asserts comp's per-register
+// metadata derivation: integer/immediate-defined registers compress,
+// floating-point and loaded values do not.
+func TestCompCompressibilityClassification(t *testing.T) {
+	b := isa.NewBuilder("comptest")
+	r := b.RegN(4)
+	b.IMovImm(r[0], 1) // immediate: compressible
+	b.IAddImm(r[1], r[0], 4)
+	b.LdGlobal(r[2], r[1], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16})
+	b.FFMA(r[3], r[2], r[0], r[2])
+	b.StGlobal(r[1], r[3], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 16})
+	prog := b.MustBuild()
+
+	c := NewComp(Baseline(6.3, DefaultCacheBanks), prog)
+	comp := c.Compressible()
+	for _, want := range []struct {
+		reg        isa.Reg
+		compressed bool
+	}{
+		{r[0], true}, {r[1], true}, {r[2], false}, {r[3], false},
+	} {
+		if got := comp.Test(int(want.reg)); got != want.compressed {
+			t.Errorf("R%d compressible = %v, want %v", want.reg, got, want.compressed)
+		}
+	}
+
+	// A nil program yields no compressibility metadata.
+	if n := NewComp(Baseline(1.0, DefaultCacheBanks), nil).Compressible().Count(); n != 0 {
+		t.Errorf("nil-program compressible set has %d bits, want 0", n)
+	}
+}
+
+// TestRegDemDemotionSet asserts regdem demotes the cold quarter but keeps
+// at least the minimum main-RF resident set, and that demoted reads are
+// charged to the spill partition.
+func TestRegDemDemotionSet(t *testing.T) {
+	prog := conformanceKernel(t)
+	d := NewRegDem(Baseline(1.0, DefaultCacheBanks), prog)
+	nregs := prog.RegCount()
+	wantK := nregs / regdemDemoteDiv
+	if keep := nregs - wantK; keep < regdemMinRFRegs {
+		wantK = nregs - regdemMinRFRegs
+	}
+	if got := d.Demoted().Count(); got != wantK {
+		t.Errorf("demoted %d of %d registers, want %d", got, nregs, wantK)
+	}
+
+	w := NewWarpRegs(0, DefaultCacheBanks)
+	demoted := isa.Reg(d.Demoted().Bits()[0])
+	before := d.Stats().SpillAccesses
+	ready := d.ReadOperands(100, w, []isa.Reg{demoted})
+	if d.Stats().SpillAccesses != before+1 {
+		t.Errorf("demoted read not charged to the spill partition")
+	}
+	if ready < 100+regdemSharedCycles {
+		t.Errorf("demoted read ready at %d, want >= now+%d", ready, regdemSharedCycles)
+	}
+
+	// Small kernels demote nothing.
+	small := isa.NewBuilder("small")
+	sr := small.RegN(8)
+	for i := range sr {
+		small.IMovImm(sr[i], 0)
+	}
+	if n := NewRegDem(Baseline(1.0, DefaultCacheBanks), small.MustBuild()).Demoted().Count(); n != 0 {
+		t.Errorf("small kernel demoted %d registers, want 0", n)
+	}
+}

@@ -5,6 +5,30 @@ import (
 	"ltrf/internal/isa"
 )
 
+func init() {
+	Register(Descriptor{
+		Name:       "LTRF",
+		IsCached:   true,
+		NeedsUnits: true,
+		New:        func(ctx BuildContext) (Subsystem, error) { return NewLTRF(ctx.Config, false), nil },
+	})
+	Register(Descriptor{
+		Name:       "LTRF+",
+		IsCached:   true,
+		NeedsUnits: true,
+		New:        func(ctx BuildContext) (Subsystem, error) { return NewLTRF(ctx.Config, true), nil },
+	})
+	// The §6.6 ablation: the LTRF hardware prefetching at strand granularity
+	// (the partition scheme is the only difference from LTRF).
+	Register(Descriptor{
+		Name:        "LTRF(strand)",
+		IsCached:    true,
+		NeedsUnits:  true,
+		UsesStrands: true,
+		New:         func(ctx BuildContext) (Subsystem, error) { return NewLTRF(ctx.Config, false), nil },
+	})
+}
+
 // LTRF is the paper's latency-tolerant register file: a software PREFETCH
 // at every prefetch-unit entry moves the unit's register working set from
 // the main RF into the warp's register-cache partition, so all in-unit
@@ -28,8 +52,6 @@ func (c *LTRF) Name() string {
 	}
 	return "LTRF"
 }
-
-func (c *LTRF) NeedsUnits() bool { return true }
 
 // ReadOperands: every source is guaranteed resident by the PREFETCH
 // contract, so reads see only WCB + cache-bank latency. A read of a

@@ -1,0 +1,168 @@
+package regfile
+
+import (
+	"sort"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+)
+
+func init() {
+	Register(Descriptor{
+		Name: "regdem",
+		// Demoting the cold quarter of the register space frees main-RF
+		// capacity for 4/3 the resident warps (the occupancy gain is the
+		// point of register demotion). Like BL, regdem spends no cache
+		// budget and gets the 16KB added to the main RF.
+		CapacityX: 4.0 / 3.0,
+		New: func(ctx BuildContext) (Subsystem, error) {
+			return NewRegDem(ctx.Config, ctx.Prog), nil
+		},
+	})
+}
+
+const (
+	// regdemSharedBanks / regdemSharedCycles model the shared-memory
+	// scratchpad partition the demoted registers live in: 32 banks, one
+	// access per bank per cycle, ~24-cycle load-use latency. The latency is
+	// FIXED in core cycles — shared memory is conventional SRAM and does not
+	// scale with the main-RF technology under study, which is exactly why
+	// demotion gains ground as the Table 2 design points get slower.
+	regdemSharedBanks  = 32
+	regdemSharedCycles = 24
+
+	// regdemDemoteDiv demotes the least-used 1/4 of the architectural
+	// registers (matching the descriptor's CapacityX of 4/3), but never
+	// below regdemMinRFRegs registers kept in the main RF.
+	regdemDemoteDiv = 4
+	regdemMinRFRegs = 16
+)
+
+// RegDem models shared-memory register demotion, after Sakdhnagool et al.,
+// "RegDem: Increasing GPU Performance via Shared Memory Register Spilling"
+// — the compiler demotes the coldest registers (lowest static use count)
+// into an unused shared-memory partition, trading their access latency for
+// higher warp occupancy. Accesses to demoted registers pay the fixed
+// shared-memory latency through the scratchpad's banks; everything else is
+// the conventional BL path. There is no register cache and no prefetch.
+type RegDem struct {
+	cfg     Config
+	banks   *BankSet // main RF
+	shared  *BankSet // shared-memory spill partition
+	net     int64
+	demoted bitvec.Vector
+	st      Stats
+}
+
+// NewRegDem builds the register-demotion design for one kernel. prog may be
+// nil (no demotion metadata), in which case no register is demoted.
+func NewRegDem(cfg Config, prog *isa.Program) *RegDem {
+	return &RegDem{
+		cfg:     cfg,
+		banks:   NewBankSet(cfg.Banks, cfg.MainBankInitiation(), cfg.MainBankCycles()),
+		shared:  NewBankSet(regdemSharedBanks, 1, regdemSharedCycles),
+		net:     int64(cfg.MainNetCycles()),
+		demoted: demotedRegs(prog),
+	}
+}
+
+// demotedRegs picks the demotion set: the 1/4 of the kernel's registers with
+// the lowest static use counts (ties broken by higher register number, so
+// the choice is deterministic), keeping at least regdemMinRFRegs in the
+// main RF.
+func demotedRegs(prog *isa.Program) bitvec.Vector {
+	var out bitvec.Vector
+	if prog == nil {
+		return out
+	}
+	nregs := prog.RegCount()
+	if nregs <= regdemMinRFRegs {
+		return out
+	}
+	uses := make([]int, nregs)
+	for i := range prog.Instrs {
+		for _, r := range prog.Instrs[i].Regs() {
+			if r.IsArch() && int(r) < nregs {
+				uses[r]++
+			}
+		}
+	}
+	k := nregs / regdemDemoteDiv
+	if keep := nregs - k; keep < regdemMinRFRegs {
+		k = nregs - regdemMinRFRegs
+	}
+	if k <= 0 {
+		return out
+	}
+	order := make([]int, nregs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		if uses[ra] != uses[rb] {
+			return uses[ra] < uses[rb]
+		}
+		return ra > rb
+	})
+	for _, r := range order[:k] {
+		out.Set(r)
+	}
+	return out
+}
+
+func (c *RegDem) Name() string   { return "regdem" }
+func (c *RegDem) Stats() *Stats  { return &c.st }
+func (c *RegDem) Config() Config { return c.cfg }
+
+// sharedBank spreads a warp's demoted registers over the scratchpad banks.
+func (c *RegDem) sharedBank(w *WarpRegs, r isa.Reg) int {
+	return (int(r) + w.ID*3) % regdemSharedBanks
+}
+
+// ReadOperands reads main-RF residents from their banks and demoted
+// registers from the shared-memory partition at its fixed latency.
+func (c *RegDem) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
+	done := now
+	for _, r := range srcs {
+		var t int64
+		if c.demoted.Test(int(r)) {
+			c.st.SpillAccesses++
+			t = c.shared.Access(now, c.sharedBank(w, r))
+		} else {
+			c.st.MainReads++
+			t = c.banks.Access(now, mainBank(c.cfg.Banks, w.ID, int(r))) + c.net
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// WriteResult writes through the buffered store path of whichever level
+// holds the register; like BL, writes pay the bank occupancy, not the full
+// read latency.
+func (c *RegDem) WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64 {
+	if c.demoted.Test(int(dst)) {
+		c.st.SpillAccesses++
+		return c.shared.Initiation()
+	}
+	c.st.MainWrites++
+	return c.banks.Initiation()
+}
+
+// OnUnitEnter is a no-op: regdem has no prefetch units.
+func (c *RegDem) OnUnitEnter(now int64, w *WarpRegs, unitID int, ws bitvec.Vector) int64 {
+	w.CurUnit = unitID
+	return now
+}
+
+// OnActivate is free: both levels hold their registers permanently.
+func (c *RegDem) OnActivate(now int64, w *WarpRegs) int64 { return now }
+
+// OnDeactivate is free for the same reason.
+func (c *RegDem) OnDeactivate(now int64, w *WarpRegs) int64 { return now }
+
+// Demoted exposes the demotion set (diagnostics and tests).
+func (c *RegDem) Demoted() bitvec.Vector { return c.demoted }

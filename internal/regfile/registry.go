@@ -1,0 +1,162 @@
+package regfile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ltrf/internal/core"
+	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
+)
+
+// Descriptor declares one register-file design to the open design registry:
+// its name, the behavior predicates the simulator and compiler consult
+// (previously switches on a closed enum in internal/sim), and the hooks that
+// tie the design to the technology model. Registering a Descriptor is all it
+// takes for a design to appear in sim.Config resolution, the experiment
+// drivers' design enumeration, ltrf.Designs(), and the command-line tools.
+type Descriptor struct {
+	// Name is the design's registry key, unique across the process (e.g.
+	// "LTRF", "comp"). It is what sim.Design values resolve to.
+	Name string
+
+	// IsCached reports whether the design spends the 16KB register-file
+	// cache budget. Non-cached designs get that budget added to their main
+	// RF capacity for fairness (§5), and the power model only charges
+	// cache + WCB energy to cached designs.
+	IsCached bool
+
+	// NeedsUnits reports whether the design consumes a prefetch-subgraph
+	// partition (LTRF variants and SHRF). Build rejects a nil partition for
+	// such designs.
+	NeedsUnits bool
+
+	// UsesStrands selects the strand partition scheme (core.FormStrands)
+	// instead of register-intervals where NeedsUnits is set.
+	UsesStrands bool
+
+	// CapacityX scales the design's effective main-RF capacity for the
+	// occupancy decision (0 means 1.0). regdem uses it: demoting a quarter
+	// of the registers to shared memory leaves room for 4/3 the warps.
+	CapacityX float64
+
+	// Timing optionally remaps the (technology point, latency multiplier)
+	// pair the design's timing Config derives from. The Ideal design pins
+	// both to the configuration-#1 baseline: same capacity as the studied
+	// point, baseline latency (§2.2).
+	Timing func(tech memtech.Params, latX float64) (memtech.Params, float64)
+
+	// MainDynScale optionally scales the main RF's dynamic energy for
+	// accesses the design serves in a cheaper form (Stats.CompressedAccesses);
+	// nil means no scaling. comp's static compression reads fewer bitlines
+	// per compressed access.
+	MainDynScale func(tech memtech.Params) float64
+
+	// New constructs the subsystem for one simulation.
+	New func(ctx BuildContext) (Subsystem, error)
+}
+
+// BuildContext carries everything a design constructor may consult: the
+// derived timing configuration, the register-allocated kernel (for designs
+// that derive per-register metadata, like comp's compressibility map or
+// regdem's demotion set), the prefetch partition (non-nil iff the descriptor
+// sets NeedsUnits), and the simulation seed.
+type BuildContext struct {
+	Config Config
+	Prog   *isa.Program
+	Part   *core.Partition
+	Seed   uint64
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Descriptor{}
+)
+
+// Register adds a design to the registry. It panics on a duplicate or
+// malformed descriptor: registration happens in init functions, where a bad
+// descriptor is a programming error.
+func Register(d Descriptor) {
+	if d.Name == "" {
+		panic("regfile: Register with empty design name")
+	}
+	if d.New == nil {
+		panic(fmt.Sprintf("regfile: design %q registered without a constructor", d.Name))
+	}
+	if d.UsesStrands && !d.NeedsUnits {
+		panic(fmt.Sprintf("regfile: design %q sets UsesStrands without NeedsUnits", d.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for n := range registry {
+		// Names must be unique case-insensitively: Lookup accepts any
+		// casing, so two designs differing only by case would be ambiguous.
+		if strings.EqualFold(n, d.Name) {
+			panic(fmt.Sprintf("regfile: design %q registered twice (have %q)", d.Name, n))
+		}
+	}
+	registry[d.Name] = d
+}
+
+// Lookup resolves a design by name: exact match first, then a unique
+// case-insensitive match, so every layer that takes a design name (config
+// validation, experiment options, CLI flags) accepts the same spellings.
+// The returned Descriptor carries the canonical Name. The error for an
+// unknown name lists every registered design.
+func Lookup(name string) (Descriptor, error) {
+	regMu.RLock()
+	d, ok := registry[name]
+	if !ok {
+		for n, cand := range registry {
+			if strings.EqualFold(n, name) {
+				d, ok = cand, true
+				break
+			}
+		}
+	}
+	regMu.RUnlock()
+	if !ok {
+		return Descriptor{}, fmt.Errorf("regfile: unknown design %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
+// Names returns the registered design names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Descriptors returns every registered descriptor, sorted by name.
+func Descriptors() []Descriptor {
+	names := Names()
+	out := make([]Descriptor, len(names))
+	for i, n := range names {
+		out[i], _ = Lookup(n)
+	}
+	return out
+}
+
+// Build constructs the named design, enforcing the descriptor's partition
+// requirement: a NeedsUnits design with a nil partition is a configuration
+// error, reported eagerly instead of failing deep inside the simulation.
+func Build(name string, ctx BuildContext) (Subsystem, error) {
+	d, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if d.NeedsUnits && ctx.Part == nil {
+		return nil, fmt.Errorf("regfile: design %q requires a prefetch partition, got nil (compile with scheme strands=%v first)",
+			d.Name, d.UsesStrands)
+	}
+	return d.New(ctx)
+}

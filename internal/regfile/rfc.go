@@ -5,6 +5,14 @@ import (
 	"ltrf/internal/isa"
 )
 
+func init() {
+	Register(Descriptor{
+		Name:     "RFC",
+		IsCached: true,
+		New:      func(ctx BuildContext) (Subsystem, error) { return NewRFC(ctx.Config), nil },
+	})
+}
+
 // rfcKey identifies one warp-register in the shared cache.
 type rfcKey struct {
 	warp int
@@ -44,8 +52,7 @@ func NewRFC(cfg Config) *RFC {
 	}
 }
 
-func (c *RFC) Name() string     { return "RFC" }
-func (c *RFC) NeedsUnits() bool { return false }
+func (c *RFC) Name() string { return "RFC" }
 
 // has reports whether (warp, reg) is resident in the shared cache.
 func (c *RFC) has(w *WarpRegs, r isa.Reg) bool {

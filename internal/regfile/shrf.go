@@ -5,6 +5,16 @@ import (
 	"ltrf/internal/isa"
 )
 
+func init() {
+	Register(Descriptor{
+		Name:        "SHRF",
+		IsCached:    true,
+		NeedsUnits:  true,
+		UsesStrands: true,
+		New:         func(ctx BuildContext) (Subsystem, error) { return NewSHRF(ctx.Config), nil },
+	})
+}
+
 // SHRF is the software-managed hierarchical register file of Gebhart et al.
 // [20]: the compiler allocates register-cache space over strands and emits
 // explicit movement operations. Its goal is energy (fewer background
@@ -21,8 +31,7 @@ func NewSHRF(cfg Config) *SHRF {
 	return &SHRF{cached: newCached(cfg)}
 }
 
-func (c *SHRF) Name() string     { return "SHRF" }
-func (c *SHRF) NeedsUnits() bool { return true }
+func (c *SHRF) Name() string { return "SHRF" }
 
 // ReadOperands hits the cache for resident registers; misses are the
 // compiler's RF.LD movement operations, which read the main RF inline

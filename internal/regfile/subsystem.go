@@ -24,6 +24,10 @@ type Stats struct {
 
 	WCBAccesses   int64
 	FallbackReads int64 // reads that unexpectedly missed under LTRF
+
+	// Registry-plugin counters.
+	CompressedAccesses int64 // comp: main-RF accesses served in compressed form
+	SpillAccesses      int64 // regdem: accesses served by the shared-memory spill partition
 }
 
 // ReadHitRate returns the register cache read hit rate (Figure 4's metric).
@@ -40,13 +44,11 @@ func (s *Stats) MainAccesses() int64 { return s.MainReads + s.MainWrites }
 // Subsystem is the register-file design under evaluation. The simulator
 // calls it at issue (ReadOperands), completion (WriteResult), prefetch-unit
 // boundaries (OnUnitEnter), and warp activation changes. All methods take
-// and return absolute cycle times.
+// and return absolute cycle times. Behavior predicates (cache usage,
+// partition consumption, partition scheme) live on the design's Descriptor
+// in the registry, not on the subsystem itself.
 type Subsystem interface {
 	Name() string
-
-	// NeedsUnits reports whether the design consumes a prefetch-subgraph
-	// partition (LTRF variants and SHRF).
-	NeedsUnits() bool
 
 	// ReadOperands returns the cycle at which all source operands have
 	// been collected, starting at `now`.

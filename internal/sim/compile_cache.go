@@ -135,6 +135,10 @@ func (cc *CompileCache) Partition(prog *isa.Program, strands bool, n int) (*core
 // depends on capacity knobs), while pressure analysis, allocation, and
 // partition formation are memoized.
 func (cc *CompileCache) Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Partition, demand, warps, spills int, err error) {
+	desc, err := c.Design.Descriptor()
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
 	demand, err = cc.Pressure(virtual)
 	if err != nil {
 		return nil, nil, 0, 0, 0, err
@@ -147,8 +151,8 @@ func (cc *CompileCache) Compile(c *Config, virtual *isa.Program) (prog *isa.Prog
 		return nil, nil, 0, 0, 0, err
 	}
 
-	if c.Design.NeedsUnits() {
-		part, err = cc.Partition(prog, c.Design.UsesStrands(), c.RegsPerInterval)
+	if desc.NeedsUnits {
+		part, err = cc.Partition(prog, desc.UsesStrands, c.RegsPerInterval)
 		if err != nil {
 			return nil, nil, 0, 0, 0, err
 		}

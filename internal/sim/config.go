@@ -15,66 +15,53 @@ import (
 
 	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
 )
 
-// Design selects the register-file design under evaluation (§5 Comparison
-// Points plus the LTRF-strand ablation of §6.6).
-type Design uint8
+// Design selects the register-file design under evaluation by its name in
+// the regfile design registry. The constants below name the paper's seven
+// comparison points (§5 plus the LTRF-strand ablation of §6.6); any further
+// registered design — including the comp and regdem plugins, and designs
+// registered by embedding callers — is addressable the same way, e.g.
+// Design("comp"). Behavior predicates and construction live on the design's
+// regfile.Descriptor; this package holds no per-design switches.
+type Design string
 
 const (
 	// DesignBL is the conventional non-cached register file. For fairness
 	// its capacity is augmented by the 16KB the other designs spend on the
 	// register file cache (§5).
-	DesignBL Design = iota
+	DesignBL Design = "BL"
 	// DesignRFC is the hardware register file cache of [19].
-	DesignRFC
+	DesignRFC Design = "RFC"
 	// DesignSHRF is the software-managed hierarchical RF of [20] (strands).
-	DesignSHRF
+	DesignSHRF Design = "SHRF"
 	// DesignLTRF prefetches register-interval working sets (the paper).
-	DesignLTRF
+	DesignLTRF Design = "LTRF"
 	// DesignLTRFPlus adds operand-liveness awareness (§3.2).
-	DesignLTRFPlus
+	DesignLTRFPlus Design = "LTRF+"
 	// DesignLTRFStrand is LTRF prefetching at strand granularity (§6.6).
-	DesignLTRFStrand
+	DesignLTRFStrand Design = "LTRF(strand)"
 	// DesignIdeal has 8x capacity at baseline latency (upper bound).
-	DesignIdeal
+	DesignIdeal Design = "Ideal"
 )
 
-func (d Design) String() string {
-	switch d {
-	case DesignBL:
-		return "BL"
-	case DesignRFC:
-		return "RFC"
-	case DesignSHRF:
-		return "SHRF"
-	case DesignLTRF:
-		return "LTRF"
-	case DesignLTRFPlus:
-		return "LTRF+"
-	case DesignLTRFStrand:
-		return "LTRF(strand)"
-	case DesignIdeal:
-		return "Ideal"
+// Name returns the design's registry name; the zero value selects the BL
+// baseline so a zero Config keeps its historical default.
+func (d Design) Name() string {
+	if d == "" {
+		return string(DesignBL)
 	}
-	return "invalid"
+	return string(d)
 }
 
-// IsCached reports whether the design uses a register-file cache.
-func (d Design) IsCached() bool { return d != DesignBL && d != DesignIdeal }
+func (d Design) String() string { return d.Name() }
 
-// NeedsUnits reports whether the design consumes a prefetch partition.
-func (d Design) NeedsUnits() bool {
-	switch d {
-	case DesignSHRF, DesignLTRF, DesignLTRFPlus, DesignLTRFStrand:
-		return true
-	}
-	return false
+// Descriptor resolves the design in the regfile registry; the error for an
+// unknown design lists every registered name.
+func (d Design) Descriptor() (regfile.Descriptor, error) {
+	return regfile.Lookup(d.Name())
 }
-
-// UsesStrands reports whether the partition scheme is strands rather than
-// register-intervals.
-func (d Design) UsesStrands() bool { return d == DesignSHRF || d == DesignLTRFStrand }
 
 // Config assembles one simulation's parameters.
 type Config struct {
@@ -149,27 +136,33 @@ func DefaultConfig(d Design) Config {
 	}
 }
 
-// EffectiveCapacityKB returns the main RF capacity used for occupancy,
-// including the BL/Ideal fairness adjustment.
+// EffectiveCapacityKB returns the main RF capacity used for occupancy: the
+// non-cached designs' fairness adjustment (+CacheKB, §5) and the design's
+// CapacityX scaling, both resolved from its registry descriptor. An unknown
+// design contributes no adjustment; Validate surfaces it as an error.
 func (c *Config) EffectiveCapacityKB() int {
 	kb := c.CapacityKB
 	if kb == 0 {
 		kb = c.Tech.CapacityKB()
 	}
-	if !c.Design.IsCached() {
+	desc, err := c.Design.Descriptor()
+	if err != nil {
+		return kb
+	}
+	if !desc.IsCached {
 		kb += c.CacheKB
 	}
-	if c.Design == DesignIdeal {
-		// Ideal is defined as 8x the baseline capacity at baseline
-		// latency (§5); capacity follows the studied tech point, which
-		// is already 8x for configs #6/#7. Nothing extra to do.
-		_ = kb
+	if desc.CapacityX > 0 {
+		kb = int(float64(kb)*desc.CapacityX + 0.5)
 	}
 	return kb
 }
 
 // Validate checks the configuration for consistency.
 func (c *Config) Validate() error {
+	if _, err := c.Design.Descriptor(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	if c.LatencyX <= 0 {
 		return fmt.Errorf("sim: LatencyX %v must be positive", c.LatencyX)
 	}

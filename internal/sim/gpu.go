@@ -48,7 +48,7 @@ func RunGPU(c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
 
 	sms := make([]*SM, nSMs)
 	for i := 0; i < nSMs; i++ {
-		rf, err := buildSubsystem(&c)
+		rf, err := buildSubsystem(&c, prog, part)
 		if err != nil {
 			return nil, err
 		}

@@ -18,7 +18,7 @@ func buildTestSM(t testing.TB, c Config, virtual *isa.Program) *SM {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := buildSubsystem(&c)
+	rf, err := buildSubsystem(&c, prog, part)
 	if err != nil {
 		t.Fatal(err)
 	}

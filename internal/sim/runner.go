@@ -1,12 +1,9 @@
 package sim
 
 import (
-	"fmt"
-
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
-	"ltrf/internal/memtech"
 	"ltrf/internal/regfile"
 )
 
@@ -69,37 +66,33 @@ func Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Par
 	return (*CompileCache)(nil).Compile(c, virtual)
 }
 
-// buildSubsystem constructs the register-file design under test.
-func buildSubsystem(c *Config) (regfile.Subsystem, error) {
-	rfCfg := regfile.FromTech(c.Tech, c.LatencyX, c.RegsPerInterval)
-	if c.Design == DesignIdeal {
-		// Ideal keeps the studied technology's CAPACITY (via occupancy)
-		// but accesses at the baseline SRAM's timing with no multiplier —
-		// "the same capacity ... but also the same latency as the baseline
-		// register file" (§2.2).
-		rfCfg = regfile.FromTech(memtech.MustConfig(1), 1.0, c.RegsPerInterval)
+// buildSubsystem constructs the register-file design under test by
+// resolving the Config's design in the regfile registry: the descriptor's
+// Timing hook may remap the (tech, latency) pair (Ideal pins the baseline
+// point), and its constructor receives the compiled kernel and partition so
+// designs can derive per-register metadata.
+func buildSubsystem(c *Config, prog *isa.Program, part *core.Partition) (regfile.Subsystem, error) {
+	desc, err := c.Design.Descriptor()
+	if err != nil {
+		return nil, err
 	}
+	tech, latX := c.Tech, c.LatencyX
+	if desc.Timing != nil {
+		tech, latX = desc.Timing(tech, latX)
+	}
+	rfCfg := regfile.FromTech(tech, latX, c.RegsPerInterval)
 	if c.WideXbar {
 		rfCfg.XbarCyclesPerReg = 1
 	}
 	if err := rfCfg.Validate(); err != nil {
 		return nil, err
 	}
-	switch c.Design {
-	case DesignBL:
-		return regfile.NewBL(rfCfg), nil
-	case DesignIdeal:
-		return regfile.NewIdeal(rfCfg), nil
-	case DesignRFC:
-		return regfile.NewRFC(rfCfg), nil
-	case DesignSHRF:
-		return regfile.NewSHRF(rfCfg), nil
-	case DesignLTRF, DesignLTRFStrand:
-		return regfile.NewLTRF(rfCfg, false), nil
-	case DesignLTRFPlus:
-		return regfile.NewLTRF(rfCfg, true), nil
-	}
-	return nil, fmt.Errorf("sim: unknown design %v", c.Design)
+	return regfile.Build(desc.Name, regfile.BuildContext{
+		Config: rfCfg,
+		Prog:   prog,
+		Part:   part,
+		Seed:   c.Seed,
+	})
 }
 
 // Run simulates one kernel under one configuration and returns the result.
@@ -121,7 +114,7 @@ func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	rf, err := buildSubsystem(&c)
+	rf, err := buildSubsystem(&c, prog, part)
 	if err != nil {
 		return nil, err
 	}

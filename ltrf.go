@@ -10,9 +10,11 @@
 //     the two-pass register-interval formation algorithm with PREFETCH
 //     planning (Compile),
 //   - a cycle-level GPU timing simulator with a Maxwell-like SM, two-level
-//     warp scheduling, operand collectors, the full memory hierarchy, and
-//     all compared register-file designs: BL, RFC, SHRF, LTRF, LTRF+,
-//     LTRF(strand), Ideal (Simulate),
+//     warp scheduling, operand collectors, the full memory hierarchy, and an
+//     open registry of register-file designs: the paper's comparison points
+//     BL, RFC, SHRF, LTRF, LTRF+, LTRF(strand), Ideal plus the comp
+//     (static data compression) and regdem (shared-memory demotion)
+//     plugins from related work (Simulate, Designs),
 //   - the Table 2 register-file technology model (Tech),
 //   - the 35-workload synthetic benchmark suite (Workloads, EvalWorkloads),
 //   - and one experiment driver per table/figure of the paper's evaluation
@@ -36,6 +38,7 @@ import (
 	"ltrf/internal/isa"
 	"ltrf/internal/memtech"
 	"ltrf/internal/regalloc"
+	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
 	"ltrf/internal/workloads"
 )
@@ -62,7 +65,10 @@ const (
 // NewKernel returns a builder for a kernel with the given name.
 func NewKernel(name string) *Builder { return isa.NewBuilder(name) }
 
-// Design identifies a register-file design under evaluation.
+// Design identifies a register-file design by its name in the open design
+// registry (internal/regfile). The exported constants cover the paper's
+// seven comparison points; any other registered design is addressable by
+// name, e.g. ltrf.Design("comp") — Designs lists them all.
 type Design = sim.Design
 
 // The compared register-file designs (§5 Comparison Points).
@@ -75,6 +81,22 @@ const (
 	LTRFStrand = sim.DesignLTRFStrand
 	Ideal      = sim.DesignIdeal
 )
+
+// Designs returns the names of every registered register-file design in
+// sorted order: the seven paper comparison points plus registry plugins
+// (comp, regdem, and any design an embedding program registers).
+func Designs() []string { return regfile.Names() }
+
+// DesignByName resolves a design name against the registry
+// (case-insensitively) and returns the canonical Design; the error for an
+// unknown name lists every registered design.
+func DesignByName(name string) (Design, error) {
+	d, err := regfile.Lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return Design(d.Name), nil
+}
 
 // Tech returns the Table 2 register-file design point with 1-based index
 // 1..7 (configuration #1 is the SRAM baseline, #6 TFET, #7 DWM).
@@ -158,7 +180,8 @@ func Compile(kernel *Program, o CompileOptions) (*Compiled, error) {
 
 // SimOptions configure a simulation.
 type SimOptions struct {
-	// Design selects the register-file design (default BL).
+	// Design selects the register-file design by registered name (default
+	// BL). Use the exported constants or any name from Designs().
 	Design Design
 	// TechConfig selects the Table 2 main-RF design point (default 1).
 	TechConfig int
@@ -179,14 +202,15 @@ type SimResult = sim.Result
 // GPUResult is a multi-SM simulation outcome.
 type GPUResult = sim.GPUResult
 
-// Simulate runs a kernel (virtual or allocated registers) on the simulated
-// GPU under the selected register-file design.
-func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
+// config derives the sim.Config for the options — the one place SimOptions
+// are applied, shared by Simulate and SimulateGPU so their handling cannot
+// drift.
+func (o SimOptions) config() (sim.Config, error) {
 	c := sim.DefaultConfig(o.Design)
 	if o.TechConfig != 0 {
 		t, err := memtech.Config(o.TechConfig)
 		if err != nil {
-			return nil, err
+			return sim.Config{}, err
 		}
 		c.Tech = t
 	}
@@ -205,6 +229,16 @@ func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
 	if o.MaxInstrs != 0 {
 		c.MaxInstrs = o.MaxInstrs
 		c.MaxCycles = o.MaxInstrs * 12
+	}
+	return c, nil
+}
+
+// Simulate runs a kernel (virtual or allocated registers) on the simulated
+// GPU under the selected register-file design.
+func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
+	c, err := o.config()
+	if err != nil {
+		return nil, err
 	}
 	return sim.Run(c, kernel)
 }
@@ -214,29 +248,9 @@ func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
 // experiments in internal/exp simulate one SM; use this entry point to study
 // chip-level contention.
 func SimulateGPU(o SimOptions, numSMs int, kernel *Program) (*GPUResult, error) {
-	c := sim.DefaultConfig(o.Design)
-	if o.TechConfig != 0 {
-		t, err := memtech.Config(o.TechConfig)
-		if err != nil {
-			return nil, err
-		}
-		c.Tech = t
-	}
-	if o.LatencyX != 0 {
-		c.LatencyX = o.LatencyX
-	}
-	if o.ActiveWarps != 0 {
-		c.ActiveWarps = o.ActiveWarps
-	}
-	if o.IntervalRegs != 0 {
-		c.RegsPerInterval = o.IntervalRegs
-	}
-	if o.MaxWarps != 0 {
-		c.MaxWarps = o.MaxWarps
-	}
-	if o.MaxInstrs != 0 {
-		c.MaxInstrs = o.MaxInstrs
-		c.MaxCycles = o.MaxInstrs * 12
+	c, err := o.config()
+	if err != nil {
+		return nil, err
 	}
 	return sim.RunGPU(c, numSMs, kernel)
 }

@@ -98,8 +98,8 @@ func TestTechAccessor(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	specs := ltrf.Experiments()
-	if len(specs) != 13 {
-		t.Errorf("Experiments() = %d entries, want 13", len(specs))
+	if len(specs) != 14 {
+		t.Errorf("Experiments() = %d entries, want 14 (13 paper artifacts + designspace)", len(specs))
 	}
 	// Table 2 is cheap: run it through the public API.
 	tab, err := ltrf.RunExperiment("table2", ltrf.ExperimentOptions{Quick: true})
@@ -128,7 +128,8 @@ func TestRunAllExperimentsQuick(t *testing.T) {
 	}
 	out := sb.String()
 	for _, id := range []string{"table1", "table2", "table4", "figure2", "figure3",
-		"figure4", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14", "overheads"} {
+		"figure4", "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
+		"overheads", "designspace"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("missing %s in combined output", id)
 		}
