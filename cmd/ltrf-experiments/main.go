@@ -28,6 +28,7 @@ func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
 		run      = flag.String("run", "", "run one experiment by id (e.g. figure9)")
+		expFlag  = flag.String("exp", "", "alias for -run")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -36,6 +37,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *run != "" && *expFlag != "" && *run != *expFlag {
+		fmt.Fprintln(os.Stderr, "ltrf-experiments: -run and -exp name different experiments; pass only one")
+		os.Exit(2)
+	}
+	if *run == "" {
+		*run = *expFlag
+	}
 	o := ltrf.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")

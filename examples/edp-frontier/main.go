@@ -1,0 +1,62 @@
+// EDP frontier: rank every register-file design in the open registry by
+// energy-delay product as the main register file slows down, and report
+// which design owns the frontier at each latency point.
+//
+// This drives the designsweep experiment
+// (`ltrf-experiments -exp designsweep`) programmatically over a small
+// workload subset, then reads the frontier off the rendered table. It also
+// shows the kernel-dependent capacity hooks at work: comp's occupancy gain
+// follows the kernel's measured compressibility coverage, and regdem's
+// follows the spill set that fits next to the workload's own shared-memory
+// usage (zero on shared-memory-heavy kernels — the design refuses and falls
+// back to the baseline partitioning).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ltrf"
+)
+
+func main() {
+	// One compute-heavy, one shared-memory-heavy, one streaming workload:
+	// enough to see the capacity hooks disagree per kernel.
+	names := []string{"sgemm", "pathfinder", "vectoradd"}
+
+	fmt.Println("kernel-dependent capacity scales (config #1, Table 3 system):")
+	fmt.Printf("%-12s %8s %8s\n", "workload", "comp", "regdem")
+	for _, wn := range names {
+		w, err := ltrf.WorkloadByName(wn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernel := w.Build(ltrf.UnrollMaxwell) // the unroll the designsweep table uses
+		comp, err := ltrf.DesignCapacityX(ltrf.Design("comp"), 1, kernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regdem, err := ltrf.DesignCapacityX(ltrf.Design("regdem"), 1, kernel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %7.2fx %7.2fx\n", wn, comp, regdem)
+	}
+
+	fmt.Println("\nenergy-delay frontier across the latency sweep:")
+	t, err := ltrf.RunExperiment("designsweep", ltrf.ExperimentOptions{
+		Quick:     true,
+		Workloads: names,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Fprint(os.Stdout)
+
+	// The frontier is the last column of each row.
+	fmt.Println()
+	for _, row := range t.Rows {
+		fmt.Printf("at %-3s the lowest-EDP design is %s\n", row[0], row[len(row)-1])
+	}
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+
+	"ltrf/internal/power"
+	"ltrf/internal/regfile"
+	"ltrf/internal/sim"
+)
+
+// DesignSweep renders the energy-delay frontier of the open design
+// registry: every registered register-file design — the paper's seven
+// comparison points plus any plugin — simulated across the Figure 11-14
+// latency grid on the configuration-#1 technology, scored by energy-delay
+// product. One row per latency multiplier, one EDP column per design
+// (normalized to BL at 1x on the same workload, geomean over the evaluation
+// set, lower is better), and a final column naming the frontier design at
+// that latency. Columns are enumerated from the registry (Options.Designs
+// restricts them), so registering a design is all it takes to appear — and
+// to be ranked.
+func DesignSweep(o Options) (*Table, error) {
+	ws, err := o.evalSet()
+	if err != nil {
+		return nil, err
+	}
+	names, err := o.designSet()
+	if err != nil {
+		return nil, err
+	}
+	eng := o.engine()
+
+	var pts []Point
+	for _, w := range ws {
+		pts = append(pts, o.point(sim.DesignBL, 1, 1.0, w.Name))
+		for _, n := range names {
+			pts = append(pts, sweepPoints(o, sim.Design(n), w.Name, nil)...)
+		}
+	}
+	eng.RunBatch(o, pts)
+
+	// edp computes a result's RF energy-delay product through the design's
+	// registry energy hook.
+	edp := func(name string, res *sim.Result) (float64, error) {
+		desc, err := regfile.Lookup(name)
+		if err != nil {
+			return 0, err
+		}
+		b := power.NewModelFor(desc, res.Config.Tech).Compute(res.Cycles, res.RF)
+		return b.EDP(res.Cycles), nil
+	}
+
+	// The BL@1x baseline EDP is per workload, shared by every cell.
+	baseEDP := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		base, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+		if err != nil {
+			return nil, err
+		}
+		v, err := edp(string(sim.DesignBL), base)
+		if err != nil {
+			return nil, err
+		}
+		baseEDP[w.Name] = v
+	}
+
+	t := &Table{
+		ID:      "designsweep",
+		Title:   "Design sweep: register-file EDP of every registered design vs. latency (config #1)",
+		Headers: append(append([]string{"Latency"}, names...), "best"),
+		Notes: []string{
+			"cells: energy-delay product relative to BL at 1x on the same workload (geomean over workloads; lower is better)",
+			"best: the registered design with the lowest EDP at that latency (the energy-delay frontier)",
+			"columns enumerated from the regfile design registry; energy through each descriptor's hooks (power.NewModelFor)",
+		},
+	}
+
+	for _, x := range sweepGrid {
+		row := []string{fmt.Sprintf("%.0fx", x)}
+		best, bestVal := "", 0.0
+		for _, n := range names {
+			var rel []float64
+			for _, w := range ws {
+				res, err := eng.Eval(o.point(sim.Design(n), 1, x, w.Name))
+				if err != nil {
+					return nil, err
+				}
+				v, err := edp(n, res)
+				if err != nil {
+					return nil, err
+				}
+				if base := baseEDP[w.Name]; base > 0 {
+					rel = append(rel, v/base)
+				}
+			}
+			gm := geomean(rel)
+			row = append(row, f2(gm))
+			if best == "" || gm < bestVal {
+				best, bestVal = n, gm
+			}
+		}
+		row = append(row, best)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -172,6 +172,7 @@ func Registry() []Spec {
 		{"figure14", "LTRF vs. software-managed register caching schemes", Figure14},
 		{"overheads", "LTRF code-size, storage, area, and power overheads", Overheads},
 		{"designspace", "IPC and RF power of every registered design (open registry)", DesignSpace},
+		{"designsweep", "Energy-delay product of every registered design across the latency sweep", DesignSweep},
 	}
 }
 

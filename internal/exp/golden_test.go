@@ -30,7 +30,9 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 	}
 	var sb strings.Builder
 	for _, s := range Registry() {
-		if s.ID == "designspace" {
+		// The registry-driven experiments post-date the pre-registry golden
+		// capture; designsweep has its own golden (TestDesignSweepGolden).
+		if s.ID == "designspace" || s.ID == "designsweep" {
 			continue
 		}
 		tab, err := s.Run(o)
@@ -43,6 +45,43 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 	if got := sb.String(); got != string(want) {
 		t.Errorf("experiment tables diverged from the pre-registry golden output\n--- got ---\n%s\n--- want ---\n%s",
 			got, string(want))
+	}
+}
+
+// TestDesignSweepGolden pins the designsweep table byte-for-byte on a fixed
+// workload trio chosen to exercise the capacity hooks' full range: sgemm
+// (register-hungry, no shared memory — regdem demotes), pathfinder
+// (shared-memory-heavy — regdem refuses and falls back), and vectoradd
+// (small kernel — nothing to demote, high compressibility). Regenerate with
+// LTRF_UPDATE_GOLDEN=1 after an intentional model change.
+func TestDesignSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const path = "testdata/designsweep_quick_golden.txt"
+	o := Options{
+		Quick:     true,
+		Workloads: []string{"sgemm", "pathfinder", "vectoradd"},
+		Engine:    NewEngine(),
+	}
+	tab, err := DesignSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	if os.Getenv("LTRF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("designsweep table diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, string(want))
 	}
 }
 

@@ -15,6 +15,11 @@ type HierarchyConfig struct {
 	SharedCycles int // shared-memory access latency
 	ConstCycles  int // constant-cache access latency
 
+	// Shared is the per-SM shared-memory scratchpad (banked,
+	// occupancy-tracked); zero fields default to 48KB / 32 banks at
+	// SharedCycles latency.
+	Shared SharedMemConfig
+
 	DRAM DRAMConfig
 }
 
@@ -29,6 +34,7 @@ func DefaultHierarchy() HierarchyConfig {
 		ReturnCycles: 20,
 		SharedCycles: 24,
 		ConstCycles:  20,
+		Shared:       SharedMemConfig{SizeB: DefaultSharedSizeB, Banks: DefaultSharedBanks},
 		DRAM:         DefaultDRAM(),
 	}
 }
@@ -40,6 +46,11 @@ type Hierarchy struct {
 	L1D  *Cache
 	L2   *Cache
 	DRAM *DRAM
+
+	// Shared is this SM's shared-memory scratchpad. The kernel's own shared
+	// loads/stores and any register-file spill partition (regdem) contend
+	// for its banks and capacity.
+	Shared *SharedMem
 
 	scratch []uint64
 
@@ -54,10 +65,11 @@ type Hierarchy struct {
 // NewHierarchy builds a single-SM hierarchy with private L1/L2/DRAM.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	h := &Hierarchy{
-		cfg:  cfg,
-		L1D:  MustNewCache(cfg.L1D),
-		L2:   MustNewCache(cfg.L2),
-		DRAM: NewDRAM(cfg.DRAM),
+		cfg:    cfg,
+		L1D:    MustNewCache(cfg.L1D),
+		L2:     MustNewCache(cfg.L2),
+		DRAM:   NewDRAM(cfg.DRAM),
+		Shared: NewSharedMem(cfg.Shared.Normalized(cfg.SharedCycles)),
 	}
 	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
 	return h
@@ -66,10 +78,11 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // NewShared builds an SM-private view sharing the given L2 and DRAM.
 func NewShared(cfg HierarchyConfig, l2 *Cache, dram *DRAM) *Hierarchy {
 	h := &Hierarchy{
-		cfg:  cfg,
-		L1D:  MustNewCache(cfg.L1D),
-		L2:   l2,
-		DRAM: dram,
+		cfg:    cfg,
+		L1D:    MustNewCache(cfg.L1D),
+		L2:     l2,
+		DRAM:   dram,
+		Shared: NewSharedMem(cfg.Shared.Normalized(cfg.SharedCycles)),
 	}
 	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
 	return h
@@ -85,7 +98,11 @@ func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID int, iter int64) (do
 	m := in.Mem
 	switch m.Space {
 	case isa.SpaceShared:
-		return now + int64(h.cfg.SharedCycles), false
+		// A warp-wide shared access is conflict-free across its own threads
+		// (32 threads, 32 banks) but occupies every bank for a cycle, so it
+		// contends with other warps' shared traffic and with register-spill
+		// partitions living in the same structure.
+		return h.Shared.AccessWide(now), false
 	case isa.SpaceConst:
 		return now + int64(h.cfg.ConstCycles), false
 	}

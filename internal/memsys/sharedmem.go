@@ -1,0 +1,189 @@
+package memsys
+
+import (
+	"ltrf/internal/isa"
+)
+
+// Shared-memory geometry defaults (Table 3-era SM: 48KB scratchpad, 32
+// banks, one 4-byte word per bank per cycle).
+const (
+	DefaultSharedSizeB = 48 << 10
+	DefaultSharedBanks = 32
+)
+
+// SharedMemConfig describes one SM's software-managed shared-memory
+// scratchpad: a banked SRAM whose capacity is split between the workload's
+// own __shared__ arrays and whatever register-file designs carve out of it
+// (regdem's spill partition). AccessCycles is the load-to-use latency of an
+// uncontended access; 0 means "use HierarchyConfig.SharedCycles".
+type SharedMemConfig struct {
+	SizeB        int
+	Banks        int
+	AccessCycles int
+}
+
+// Normalized fills zero fields with the defaults, taking the hierarchy's
+// SharedCycles as the latency when the config carries none.
+func (c SharedMemConfig) Normalized(sharedCycles int) SharedMemConfig {
+	if c.SizeB <= 0 {
+		c.SizeB = DefaultSharedSizeB
+	}
+	if c.Banks <= 0 {
+		c.Banks = DefaultSharedBanks
+	}
+	if c.AccessCycles <= 0 {
+		c.AccessCycles = sharedCycles
+	}
+	if c.AccessCycles <= 0 {
+		c.AccessCycles = 24
+	}
+	return c
+}
+
+// SharedMem models one SM's shared-memory scratchpad with per-bank
+// occupancy, so every client — the workload's shared loads/stores AND any
+// register-file design spilling into the structure — contends for the same
+// bank cycles. Capacity is occupancy-tracked: the workload's footprint is
+// recorded first, and designs Reserve() scratchpad space out of what is
+// left, failing when the workload leaves no room.
+//
+// Timing follows the BankSet convention of internal/regfile: a bank accepts
+// one request per cycle (pipelined) and returns data AccessCycles after the
+// request starts service; requests arriving while the bank is busy queue
+// behind it.
+type SharedMem struct {
+	cfg  SharedMemConfig
+	free []int64 // per-bank busy-until cycle
+
+	workloadB int // bytes claimed by the kernel's own shared arrays
+	reservedB int // bytes reserved by register-file scratchpads
+
+	Accesses  int64
+	Conflicts int64 // accesses that had to wait for a busy bank
+}
+
+// NewSharedMem builds a scratchpad, normalizing zero config fields to the
+// defaults.
+func NewSharedMem(cfg SharedMemConfig) *SharedMem {
+	cfg = cfg.Normalized(0)
+	return &SharedMem{
+		cfg:  cfg,
+		free: make([]int64, cfg.Banks),
+	}
+}
+
+// Config returns the (normalized) configuration.
+func (s *SharedMem) Config() SharedMemConfig { return s.cfg }
+
+// SetWorkloadBytes records the kernel's own shared-memory footprint,
+// clamped to the capacity. It reduces what Reserve can hand out.
+func (s *SharedMem) SetWorkloadBytes(b int) {
+	if b < 0 {
+		b = 0
+	}
+	if b > s.cfg.SizeB {
+		b = s.cfg.SizeB
+	}
+	s.workloadB = b
+}
+
+// WorkloadBytes returns the kernel's recorded shared-memory footprint.
+func (s *SharedMem) WorkloadBytes() int { return s.workloadB }
+
+// ReservedBytes returns the bytes handed out through Reserve.
+func (s *SharedMem) ReservedBytes() int { return s.reservedB }
+
+// FreeBytes returns the capacity left for new reservations.
+func (s *SharedMem) FreeBytes() int { return s.cfg.SizeB - s.workloadB - s.reservedB }
+
+// Occupancy returns the claimed fraction of the scratchpad.
+func (s *SharedMem) Occupancy() float64 {
+	if s.cfg.SizeB <= 0 {
+		return 0
+	}
+	return float64(s.workloadB+s.reservedB) / float64(s.cfg.SizeB)
+}
+
+// Reserve claims b bytes of scratchpad for a register-file design. It
+// reports whether the reservation fit; a failed reservation claims nothing,
+// which is how regdem learns the workload left it no room.
+func (s *SharedMem) Reserve(b int) bool {
+	if b < 0 {
+		return false
+	}
+	if b > s.FreeBytes() {
+		return false
+	}
+	s.reservedB += b
+	return true
+}
+
+// Access requests one bank at cycle now and returns the cycle the data is
+// available. Spill partitions use it: a spilled register lives in one bank
+// and its access queues behind whatever workload traffic occupies it.
+func (s *SharedMem) Access(now int64, bank int) int64 {
+	if bank < 0 {
+		bank = -bank
+	}
+	bank %= len(s.free)
+	s.Accesses++
+	start := now
+	if f := s.free[bank]; f > start {
+		start = f
+		s.Conflicts++
+	}
+	s.free[bank] = start + 1
+	return start + int64(s.cfg.AccessCycles)
+}
+
+// AccessWide requests all banks at once — a warp-wide conflict-free access,
+// the granularity of the kernel's own shared loads/stores (32 threads hit
+// 32 distinct banks). It starts once every bank is free, occupies each for
+// one cycle, and returns the data-available cycle. Two warp-wide accesses
+// in the same cycle therefore serialize by one cycle, and a single-bank
+// spill access queues behind every in-flight wide access — the contention
+// the fixed-latency model could not express.
+func (s *SharedMem) AccessWide(now int64) int64 {
+	s.Accesses++
+	start := now
+	conflict := false
+	for _, f := range s.free {
+		if f > start {
+			start = f
+			conflict = true
+		}
+	}
+	if conflict {
+		s.Conflicts++
+	}
+	for i := range s.free {
+		s.free[i] = start + 1
+	}
+	return start + int64(s.cfg.AccessCycles)
+}
+
+// WorkloadSharedBytes scans a kernel for its shared-memory footprint: the
+// largest FootprintB any shared-space access declares (the kernel's
+// __shared__ arrays all alias one scratchpad region in this IR). Both
+// virtual and allocated programs yield the same answer, so the occupancy
+// decision (pre-allocation) and the simulation (post-allocation) agree.
+func WorkloadSharedBytes(prog *isa.Program) int {
+	if prog == nil {
+		return 0
+	}
+	var max int64
+	for i := range prog.Instrs {
+		m := prog.Instrs[i].Mem
+		if m == nil || m.Space != isa.SpaceShared {
+			continue
+		}
+		if m.FootprintB > max {
+			max = m.FootprintB
+		}
+	}
+	const clamp = 1 << 30
+	if max > clamp {
+		max = clamp
+	}
+	return int(max)
+}

@@ -1,0 +1,130 @@
+package memsys
+
+import (
+	"testing"
+
+	"ltrf/internal/isa"
+)
+
+func TestSharedMemDefaultsAndNormalization(t *testing.T) {
+	s := NewSharedMem(SharedMemConfig{})
+	cfg := s.Config()
+	if cfg.SizeB != DefaultSharedSizeB || cfg.Banks != DefaultSharedBanks {
+		t.Errorf("zero config normalized to %+v, want %d/%d defaults", cfg, DefaultSharedSizeB, DefaultSharedBanks)
+	}
+	if cfg.AccessCycles <= 0 {
+		t.Errorf("normalized AccessCycles %d must be positive", cfg.AccessCycles)
+	}
+	// The hierarchy's SharedCycles flows into a zero AccessCycles.
+	n := SharedMemConfig{SizeB: 1 << 10, Banks: 4}.Normalized(17)
+	if n.AccessCycles != 17 {
+		t.Errorf("Normalized(17).AccessCycles = %d, want 17", n.AccessCycles)
+	}
+}
+
+func TestSharedMemCapacityAccounting(t *testing.T) {
+	s := NewSharedMem(SharedMemConfig{SizeB: 1000, Banks: 4, AccessCycles: 10})
+	s.SetWorkloadBytes(600)
+	if got := s.FreeBytes(); got != 400 {
+		t.Fatalf("FreeBytes = %d, want 400", got)
+	}
+	if !s.Reserve(300) {
+		t.Fatal("Reserve(300) must fit in 400 free bytes")
+	}
+	if s.Reserve(200) {
+		t.Fatal("Reserve(200) must fail with only 100 bytes free")
+	}
+	if s.Reserve(-1) {
+		t.Fatal("negative reservations must fail")
+	}
+	if got := s.ReservedBytes(); got != 300 {
+		t.Errorf("ReservedBytes = %d, want 300 (failed reservations must claim nothing)", got)
+	}
+	if got := s.Occupancy(); got != 0.9 {
+		t.Errorf("Occupancy = %v, want 0.9", got)
+	}
+	// Workload footprints clamp to capacity; a full scratchpad frees nothing.
+	s.SetWorkloadBytes(5000)
+	if got := s.FreeBytes(); got >= 0 && s.Reserve(1) {
+		t.Errorf("Reserve must fail on an over-subscribed scratchpad (free %d)", got)
+	}
+}
+
+func TestSharedMemBankContention(t *testing.T) {
+	s := NewSharedMem(SharedMemConfig{SizeB: 1 << 10, Banks: 4, AccessCycles: 10})
+
+	// An uncontended single-bank access returns start + latency.
+	if got := s.Access(100, 0); got != 110 {
+		t.Fatalf("uncontended access done at %d, want 110", got)
+	}
+	// A second access to the SAME bank in the same cycle queues one cycle;
+	// a different bank does not.
+	if got := s.Access(100, 0); got != 111 {
+		t.Errorf("same-bank access done at %d, want 111", got)
+	}
+	if got := s.Access(100, 1); got != 110 {
+		t.Errorf("other-bank access done at %d, want 110", got)
+	}
+	if s.Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1", s.Conflicts)
+	}
+
+	// A warp-wide access waits for every bank (bank 0 is busy until 102
+	// after its two back-to-back accesses), occupies them all, and delays
+	// any later single-bank access.
+	wide := s.AccessWide(100)
+	if wide != 112 {
+		t.Errorf("wide access behind busy banks done at %d, want 112", wide)
+	}
+	if got := s.Access(101, 2); got != 113 {
+		t.Errorf("spill access behind wide access done at %d, want 113", got)
+	}
+
+	// Out-of-range bank indexes fold into range instead of panicking.
+	if got := s.Access(200, -7); got < 200 {
+		t.Errorf("negative bank access returned %d before now", got)
+	}
+}
+
+func TestWorkloadSharedBytes(t *testing.T) {
+	if got := WorkloadSharedBytes(nil); got != 0 {
+		t.Errorf("nil program shared bytes = %d, want 0", got)
+	}
+
+	b := isa.NewBuilder("shared-scan")
+	r := b.RegN(4)
+	for i := range r {
+		b.IMovImm(r[i], 0)
+	}
+	b.LdGlobal(r[0], r[1], isa.MemAccess{Pattern: isa.PatCoalesced, FootprintB: 1 << 20})
+	b.StShared(r[0], r[1], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 8 << 10})
+	b.LdShared(r[2], r[0], isa.MemAccess{Pattern: isa.PatCoalesced, Region: 1, FootprintB: 24 << 10})
+	prog := b.MustBuild()
+
+	// The footprint is the LARGEST shared declaration; global footprints do
+	// not count.
+	if got := WorkloadSharedBytes(prog); got != 24<<10 {
+		t.Errorf("WorkloadSharedBytes = %d, want %d", got, 24<<10)
+	}
+}
+
+// TestHierarchySharedContention asserts the hierarchy routes shared-space
+// accesses through the banked scratchpad: two warps' shared accesses in the
+// same cycle serialize by one bank cycle, where the old fixed-latency model
+// returned identical completion times.
+func TestHierarchySharedContention(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	in := &isa.Instr{Op: isa.OpLdShared, Mem: &isa.MemAccess{Space: isa.SpaceShared, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
+	first, _ := h.Access(100, in, 0, 0)
+	second, _ := h.Access(100, in, 1, 0)
+	want := int64(100 + h.Config().SharedCycles)
+	if first != want {
+		t.Errorf("first shared access done at %d, want %d", first, want)
+	}
+	if second != want+1 {
+		t.Errorf("second same-cycle shared access done at %d, want %d (bank serialization)", second, want+1)
+	}
+	if h.Shared.Accesses != 2 {
+		t.Errorf("scratchpad saw %d accesses, want 2", h.Shared.Accesses)
+	}
+}

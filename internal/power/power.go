@@ -32,6 +32,24 @@ func (b Breakdown) Total() float64 {
 		b.WCBDynamic + b.WCBLeakage + b.XbarDynamic + b.SharedDynamic
 }
 
+// EDP returns the energy-delay product of the breakdown over a simulated
+// duration: total energy x cycles. It is the single figure of merit the
+// designsweep experiment ranks register-file designs by — a design that
+// buys IPC with disproportionate energy (or saves energy by stalling)
+// scores worse than one balancing both. Units are relative, like every
+// energy in this package; comparisons are meaningful only against another
+// EDP computed from the same workload.
+func (b Breakdown) EDP(cycles int64) float64 {
+	return b.Total() * float64(cycles)
+}
+
+// ED2P returns the energy-delay-squared product, which weights performance
+// more heavily — the conventional metric when voltage scaling is on the
+// table.
+func (b Breakdown) ED2P(cycles int64) float64 {
+	return b.Total() * float64(cycles) * float64(cycles)
+}
+
 // Model holds the technology parameters for the power computation.
 type Model struct {
 	Main memtech.Params // main register file design point

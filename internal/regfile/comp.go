@@ -12,10 +12,36 @@ func init() {
 		// No register-file cache: like BL, comp gets the 16KB cache budget
 		// added to its main RF for fairness.
 		MainDynScale: func(memtech.Params) float64 { return compDynScale },
+		// Capacity is the point of static data compression: registers whose
+		// values compress pack at roughly half width, so the same SRAM holds
+		// more warps' state. The gain is derived from the kernel's MEASURED
+		// compressibility coverage — a kernel with no narrow-value registers
+		// gains nothing, an all-integer kernel approaches 2x.
+		CapacityX: func(ctx CapacityContext) float64 {
+			return compCapacityX(CompressibilityCoverage(ctx.Prog))
+		},
 		New: func(ctx BuildContext) (Subsystem, error) {
 			return NewComp(ctx.Config, ctx.Prog), nil
 		},
 	})
+}
+
+// compPackX is the storage footprint of one COMPRESSED register relative to
+// an uncompressed one: narrow values need roughly half the bits.
+const compPackX = 0.5
+
+// compCapacityX converts a compressibility coverage (fraction of defined
+// registers that compress) into an effective capacity scale: with coverage
+// c, per-thread register state shrinks to (1-c) + c*compPackX of its
+// uncompressed footprint.
+func compCapacityX(coverage float64) float64 {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	return 1 / (1 - coverage*(1-compPackX))
 }
 
 // compDynScale is the main-RF dynamic energy of one COMPRESSED access
@@ -65,20 +91,23 @@ func NewComp(cfg Config, prog *isa.Program) *Comp {
 	}
 }
 
-// compressibleRegs derives the per-register compressibility map from the
-// kernel: a register compresses when every instruction defining it produces
-// a narrow or low-entropy value. Integer ALU results (addresses, indices,
-// masks), predicates, and constant-bank loads qualify; floating-point
-// arithmetic and data loaded from memory do not. Registers with no def in
-// the kernel (live-in parameters) are conservatively incompressible.
-func compressibleRegs(prog *isa.Program) bitvec.Vector {
-	var defined, incompressible bitvec.Vector
+// compScan derives the kernel's per-register compressibility metadata: a
+// register compresses when every instruction defining it produces a narrow
+// or low-entropy value. Integer ALU results (addresses, indices, masks),
+// predicates, and constant-bank loads qualify; floating-point arithmetic
+// and data loaded from memory do not. Registers with no def in the kernel
+// (live-in parameters) are conservatively incompressible. The scan works on
+// virtual-register programs too (the CapacityX hook runs before register
+// allocation): classification depends only on defining opcodes, not on
+// register numbering.
+func compScan(prog *isa.Program) (defined, compressible bitvec.Vector) {
 	if prog == nil {
-		return bitvec.Vector{}
+		return bitvec.Vector{}, bitvec.Vector{}
 	}
+	var incompressible bitvec.Vector
 	for i := range prog.Instrs {
 		in := &prog.Instrs[i]
-		if !in.Op.WritesDst() || !in.Dst.Valid() || !in.Dst.IsArch() {
+		if !in.Op.WritesDst() || !in.Dst.Valid() {
 			continue
 		}
 		defined.Set(int(in.Dst))
@@ -86,7 +115,29 @@ func compressibleRegs(prog *isa.Program) bitvec.Vector {
 			incompressible.Set(int(in.Dst))
 		}
 	}
-	return defined.Diff(incompressible)
+	return defined, defined.Diff(incompressible)
+}
+
+// compressibleRegs is the per-register compressibility map the subsystem
+// consults at access time.
+func compressibleRegs(prog *isa.Program) bitvec.Vector {
+	_, compressible := compScan(prog)
+	return compressible
+}
+
+// CompressibilityCoverage measures the fraction of a kernel's defined
+// registers whose values compress (0 when the kernel defines none). It is
+// comp's "measured compressibility coverage": the CapacityX hook and the
+// experiment drivers read the occupancy gain off it, and the fuzz harness
+// pins its invariants (deterministic, in [0,1], compressible subset of
+// defined).
+func CompressibilityCoverage(prog *isa.Program) float64 {
+	defined, compressible := compScan(prog)
+	n := defined.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(compressible.Count()) / float64(n)
 }
 
 // compressibleDef reports whether an opcode's result is a narrow-value

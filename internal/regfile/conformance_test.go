@@ -8,6 +8,7 @@ import (
 	"ltrf/internal/bitvec"
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
 )
 
 // conformanceKernel is a small arch-register kernel with enough registers
@@ -281,17 +282,121 @@ func TestCompCompressibilityClassification(t *testing.T) {
 	}
 }
 
+// TestRegDemSelectionDeterministic is the regression gate for spill-set
+// selection: the coldest-quartile choice must not depend on map iteration
+// or any other run-to-run state. A kernel where most registers tie at the
+// same use count must demote exactly the documented set — ascending use
+// count, ties broken by DESCENDING register number — and re-deriving the
+// set from an identical, separately built kernel must agree bit for bit.
+func TestRegDemSelectionDeterministic(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder("ties")
+		r := b.RegN(32)
+		for i := range r {
+			b.IMovImm(r[i], 0)
+		}
+		// Registers 0..7 get extra uses (hot); 8..31 all tie at one use.
+		for i := 0; i < 8; i++ {
+			b.IAdd(r[i], r[i], r[i])
+		}
+		return b.MustBuild()
+	}
+
+	d1 := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: build()})
+	d2 := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: build()})
+
+	wantK := regdemDemoteCount(32) // 8
+	if got := d1.Demoted().Count(); got != wantK {
+		t.Fatalf("demoted %d registers, want %d", got, wantK)
+	}
+	// The cold candidates (regs 8..31) tie; the deterministic tiebreak
+	// demotes the HIGHEST-numbered k of them: 24..31.
+	for reg := 24; reg < 32; reg++ {
+		if !d1.Demoted().Test(reg) {
+			t.Errorf("tied-cold register R%d not demoted; tiebreak must prefer higher register numbers", reg)
+		}
+	}
+	for reg := 0; reg < 24; reg++ {
+		if d1.Demoted().Test(reg) {
+			t.Errorf("register R%d demoted unexpectedly", reg)
+		}
+	}
+	if b1, b2 := d1.Demoted().Bits(), d2.Demoted().Bits(); !reflect.DeepEqual(b1, b2) {
+		t.Errorf("demotion set not deterministic across identical kernels: %v vs %v", b1, b2)
+	}
+}
+
+// TestRegDemFitBudget pins regdemFit's budget arithmetic, including the
+// documented CapacityContext convention that a NEGATIVE budget means
+// "unknown" (static embedding callers) and leaves the wanted count
+// unbounded — the constructor's Reserve() is then the only gate.
+func TestRegDemFitBudget(t *testing.T) {
+	for _, tc := range []struct {
+		k, freeB, warps, want int
+	}{
+		{10, -1, 4, 10}, // unknown budget: unbounded
+		{10, 0, 4, 0},   // full scratchpad: nothing fits
+		{10, 10 * regdemBytesPerWarpReg * 4, 4, 10} /* exact fit */, {10, 3 * regdemBytesPerWarpReg * 4, 4, 3}, // partial fit
+		{10, 3 * regdemBytesPerWarpReg, 0, 3}, // warps clamp to 1
+		{0, 1 << 20, 4, 0},                    // nothing wanted
+	} {
+		if got := regdemFit(tc.k, tc.freeB, tc.warps); got != tc.want {
+			t.Errorf("regdemFit(%d, %d, %d) = %d, want %d", tc.k, tc.freeB, tc.warps, got, tc.want)
+		}
+	}
+}
+
+// TestRegDemSharedMemContention asserts the tentpole wiring: regdem's spill
+// partition is RESERVED from the SM's shared memory, spill accesses queue
+// behind workload shared-memory traffic on the same banks, and a workload
+// that fills the scratchpad forces the fallback to baseline partitioning.
+func TestRegDemSharedMemContention(t *testing.T) {
+	prog := conformanceKernel(t)
+
+	// Room available: the reservation lands in the shared memory.
+	sm := memsys.NewSharedMem(memsys.SharedMemConfig{})
+	d := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: prog, SharedMem: sm, Warps: 4})
+	k := d.Demoted().Count()
+	if k == 0 {
+		t.Fatal("expected a non-empty demotion set with a free scratchpad")
+	}
+	if got, want := sm.ReservedBytes(), k*regdemBytesPerWarpReg*4; got != want {
+		t.Errorf("reserved %dB of shared memory, want %d", got, want)
+	}
+
+	// A workload shared access occupying the banks delays a spill read
+	// issued the same cycle: contention the fixed-geometry model lacked.
+	w := NewWarpRegs(0, DefaultCacheBanks)
+	demoted := isa.Reg(d.Demoted().Bits()[0])
+	free := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: prog, SharedMem: memsys.NewSharedMem(memsys.SharedMemConfig{}), Warps: 4})
+	uncontended := free.ReadOperands(100, w, []isa.Reg{demoted})
+	sm.AccessWide(100) // workload traffic claims every bank at cycle 100
+	contended := d.ReadOperands(100, w, []isa.Reg{demoted})
+	if contended <= uncontended {
+		t.Errorf("spill read under workload traffic ready at %d, want later than uncontended %d",
+			contended, uncontended)
+	}
+
+	// No room: a full scratchpad forces the baseline fallback.
+	full := memsys.NewSharedMem(memsys.SharedMemConfig{})
+	full.SetWorkloadBytes(full.Config().SizeB)
+	fb := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: prog, SharedMem: full, Warps: 4})
+	if n := fb.Demoted().Count(); n != 0 {
+		t.Errorf("demoted %d registers with a full scratchpad, want fallback to baseline (0)", n)
+	}
+	if fb.Stats().SpillAccesses != 0 {
+		t.Error("fallback regdem must not charge spill accesses")
+	}
+}
+
 // TestRegDemDemotionSet asserts regdem demotes the cold quarter but keeps
 // at least the minimum main-RF resident set, and that demoted reads are
 // charged to the spill partition.
 func TestRegDemDemotionSet(t *testing.T) {
 	prog := conformanceKernel(t)
-	d := NewRegDem(Baseline(1.0, DefaultCacheBanks), prog)
+	d := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: prog})
 	nregs := prog.RegCount()
-	wantK := nregs / regdemDemoteDiv
-	if keep := nregs - wantK; keep < regdemMinRFRegs {
-		wantK = nregs - regdemMinRFRegs
-	}
+	wantK := regdemDemoteCount(nregs)
 	if got := d.Demoted().Count(); got != wantK {
 		t.Errorf("demoted %d of %d registers, want %d", got, nregs, wantK)
 	}
@@ -299,12 +404,13 @@ func TestRegDemDemotionSet(t *testing.T) {
 	w := NewWarpRegs(0, DefaultCacheBanks)
 	demoted := isa.Reg(d.Demoted().Bits()[0])
 	before := d.Stats().SpillAccesses
+	sharedCycles := int64(d.SharedMem().Config().AccessCycles)
 	ready := d.ReadOperands(100, w, []isa.Reg{demoted})
 	if d.Stats().SpillAccesses != before+1 {
 		t.Errorf("demoted read not charged to the spill partition")
 	}
-	if ready < 100+regdemSharedCycles {
-		t.Errorf("demoted read ready at %d, want >= now+%d", ready, regdemSharedCycles)
+	if ready < 100+sharedCycles {
+		t.Errorf("demoted read ready at %d, want >= now+%d", ready, sharedCycles)
 	}
 
 	// Small kernels demote nothing.
@@ -313,7 +419,8 @@ func TestRegDemDemotionSet(t *testing.T) {
 	for i := range sr {
 		small.IMovImm(sr[i], 0)
 	}
-	if n := NewRegDem(Baseline(1.0, DefaultCacheBanks), small.MustBuild()).Demoted().Count(); n != 0 {
+	smallDem := NewRegDem(BuildContext{Config: Baseline(1.0, DefaultCacheBanks), Prog: small.MustBuild()})
+	if n := smallDem.Demoted().Count(); n != 0 {
 		t.Errorf("small kernel demoted %d registers, want 0", n)
 	}
 }

@@ -1,0 +1,142 @@
+package regfile
+
+// Fuzz harnesses for the two registry surfaces that consume outside input:
+// design-name lookup (every CLI flag, config field, and experiment option
+// funnels through Lookup) and the kernel compressibility scanner (comp's
+// per-register classification, which both the subsystem and the CapacityX
+// occupancy hook depend on). Seed corpora live under testdata/fuzz and CI
+// runs each harness as a short -fuzztime smoke.
+
+import (
+	"strings"
+	"testing"
+
+	"ltrf/internal/isa"
+)
+
+// FuzzLookup asserts the registry name-resolution contract on arbitrary
+// input: no panic, unknown names fail with an error listing every
+// registered design, and hits canonicalize — the returned descriptor
+// carries a registered name matching the query case-insensitively, and
+// resolving the canonical name again is stable.
+func FuzzLookup(f *testing.F) {
+	for _, s := range []string{
+		"", "BL", "bl", "LTRF", "ltrf+", "LTRF(strand)", "Comp", "REGDEM",
+		"Ideal", "no-such-design", "LTRF ", "ltrf\x00", "LTRF(STRAND)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		d, err := Lookup(name)
+		if err != nil {
+			for _, n := range Names() {
+				if !strings.Contains(err.Error(), n) {
+					t.Fatalf("Lookup(%q) error does not list registered design %q: %v", name, n, err)
+				}
+			}
+			return
+		}
+		if !strings.EqualFold(d.Name, name) {
+			t.Fatalf("Lookup(%q) resolved to %q, which does not match case-insensitively", name, d.Name)
+		}
+		again, err := Lookup(d.Name)
+		if err != nil || again.Name != d.Name {
+			t.Fatalf("Lookup(%q) canonical name %q does not re-resolve to itself: %v", name, d.Name, err)
+		}
+		if d.New == nil {
+			t.Fatalf("Lookup(%q) returned a descriptor without a constructor", name)
+		}
+	})
+}
+
+// fuzzProgram deterministically decodes a byte string into a small valid
+// kernel: the first registers are defined up front so every later use is
+// defined, then each byte pair appends one instruction from a mixed-op
+// menu (integer, float, SFU, predicate, loads, stores). The decode never
+// fails — the builder appends the terminating EXIT — so every fuzz input
+// exercises the scanner on a structurally valid program.
+func fuzzProgram(data []byte) *isa.Program {
+	b := isa.NewBuilder("fuzz")
+	const nregs = 12
+	r := b.RegN(nregs)
+	for i := range r {
+		b.IMovImm(r[i], int64(i))
+	}
+	mem := isa.MemAccess{Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16}
+	for i := 0; i+1 < len(data) && b.Len() < 512; i += 2 {
+		op := data[i] % 10
+		x := r[int(data[i+1])%nregs]
+		y := r[int(data[i+1]/16)%nregs]
+		switch op {
+		case 0:
+			b.IAdd(x, y, x)
+		case 1:
+			b.IMovImm(x, int64(data[i+1]))
+		case 2:
+			b.FAdd(x, y, x)
+		case 3:
+			b.FFMA(x, y, x, y)
+		case 4:
+			b.Sqrt(x, y)
+		case 5:
+			b.SetPImm(x, y, int64(data[i+1]))
+		case 6:
+			b.LdGlobal(x, y, mem)
+		case 7:
+			b.StGlobal(x, y, mem)
+		case 8:
+			b.LdConst(x, y, mem)
+		case 9:
+			b.And(x, y, x)
+		}
+	}
+	prog, err := b.Build()
+	if err != nil {
+		// The decode emits only well-formed instructions; a build error is
+		// a harness bug worth surfacing as a crash.
+		panic(err)
+	}
+	return prog
+}
+
+// FuzzCompressibilityScanner asserts the kernel compressibility scanner's
+// invariants on arbitrary kernels: no panic, coverage in [0,1], the
+// compressible set is a subset of the defined set, classification is
+// deterministic, and the comp subsystem built from the same kernel agrees
+// with the scan.
+func FuzzCompressibilityScanner(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{1, 7, 3, 200, 6, 5, 2, 9})
+	f.Add([]byte("integer-heavy\x01\x02\x01\x03\x05\x08"))
+	f.Add([]byte{6, 1, 3, 3, 3, 5, 7, 7, 4, 4, 8, 8, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := fuzzProgram(data)
+
+		cov := CompressibilityCoverage(prog)
+		if cov < 0 || cov > 1 {
+			t.Fatalf("coverage %v outside [0,1]", cov)
+		}
+		if again := CompressibilityCoverage(prog); again != cov {
+			t.Fatalf("coverage not deterministic: %v then %v", cov, again)
+		}
+
+		defined, compressible := compScan(prog)
+		if compressible.Diff(defined).Count() != 0 {
+			t.Fatalf("compressible set is not a subset of the defined set")
+		}
+		if defined.Count() > 0 {
+			want := float64(compressible.Count()) / float64(defined.Count())
+			if cov != want {
+				t.Fatalf("coverage %v != compressible/defined %v", cov, want)
+			}
+		} else if cov != 0 {
+			t.Fatalf("coverage %v for a kernel defining no registers", cov)
+		}
+
+		sub := NewComp(Baseline(1.0, DefaultCacheBanks), prog)
+		if got := sub.Compressible().Count(); got != compressible.Count() {
+			t.Fatalf("subsystem compressible set (%d) disagrees with the scan (%d)", got, compressible.Count())
+		}
+	})
+}

@@ -5,80 +5,159 @@ import (
 
 	"ltrf/internal/bitvec"
 	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
 )
 
 func init() {
 	Register(Descriptor{
 		Name: "regdem",
 		// Demoting the cold quarter of the register space frees main-RF
-		// capacity for 4/3 the resident warps (the occupancy gain is the
-		// point of register demotion). Like BL, regdem spends no cache
+		// capacity for more resident warps — but only when the workload's
+		// own shared-memory usage leaves room for the spill scratchpad. The
+		// hook runs the same demotion plan the constructor will, against a
+		// trial occupancy at the full 4/3 gain, and refuses (scale 1.0) when
+		// the scratchpad would not fit. Like BL, regdem spends no cache
 		// budget and gets the 16KB added to the main RF.
-		CapacityX: 4.0 / 3.0,
+		CapacityX: func(ctx CapacityContext) float64 {
+			if ctx.Occupancy == nil {
+				return 1
+			}
+			// Trial occupancy at the full quarter-demotion gain. The trial
+			// overestimates warps, so the fitted spill set (and the granted
+			// scale) is conservative: the constructor's reservation at the
+			// final, smaller warp count always fits what the hook granted.
+			regCap, warps := ctx.Occupancy(ctx.Demand, ctx.BaseCapB*4/3)
+			k := regdemFit(regdemDemoteCount(regCap), ctx.SharedFreeB, warps)
+			if k == 0 {
+				return 1
+			}
+			return float64(regCap) / float64(regCap-k)
+		},
 		New: func(ctx BuildContext) (Subsystem, error) {
-			return NewRegDem(ctx.Config, ctx.Prog), nil
+			return NewRegDem(ctx), nil
 		},
 	})
 }
 
 const (
-	// regdemSharedBanks / regdemSharedCycles model the shared-memory
-	// scratchpad partition the demoted registers live in: 32 banks, one
-	// access per bank per cycle, ~24-cycle load-use latency. The latency is
-	// FIXED in core cycles — shared memory is conventional SRAM and does not
-	// scale with the main-RF technology under study, which is exactly why
-	// demotion gains ground as the Table 2 design points get slower.
-	regdemSharedBanks  = 32
-	regdemSharedCycles = 24
-
 	// regdemDemoteDiv demotes the least-used 1/4 of the architectural
-	// registers (matching the descriptor's CapacityX of 4/3), but never
-	// below regdemMinRFRegs registers kept in the main RF.
+	// registers, but never below regdemMinRFRegs registers kept in the
+	// main RF.
 	regdemDemoteDiv = 4
 	regdemMinRFRegs = 16
+
+	// regdemBytesPerWarpReg is the scratchpad storage of one demoted
+	// warp-register: 32 threads x 4 bytes.
+	regdemBytesPerWarpReg = 128
 )
+
+// regdemDemoteCount returns how many of nregs registers the demotion pass
+// WANTS to spill: the cold quarter, keeping at least regdemMinRFRegs
+// registers in the main RF.
+func regdemDemoteCount(nregs int) int {
+	if nregs <= regdemMinRFRegs {
+		return 0
+	}
+	k := nregs / regdemDemoteDiv
+	if keep := nregs - k; keep < regdemMinRFRegs {
+		k = nregs - regdemMinRFRegs
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// regdemFit bounds a wanted demotion count by the shared-memory bytes the
+// workload left free: each demoted register costs regdemBytesPerWarpReg per
+// resident warp. freeB < 0 means "unknown budget" (static contexts) and
+// leaves the count unbounded; a workload that fills the scratchpad fits
+// nothing, which is regdem's fallback-to-baseline case.
+func regdemFit(k, freeB, warps int) int {
+	if k <= 0 {
+		return 0
+	}
+	if freeB < 0 {
+		return k
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	if fit := freeB / (regdemBytesPerWarpReg * warps); fit < k {
+		k = fit
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
 
 // RegDem models shared-memory register demotion, after Sakdhnagool et al.,
 // "RegDem: Increasing GPU Performance via Shared Memory Register Spilling"
 // — the compiler demotes the coldest registers (lowest static use count)
-// into an unused shared-memory partition, trading their access latency for
-// higher warp occupancy. Accesses to demoted registers pay the fixed
-// shared-memory latency through the scratchpad's banks; everything else is
-// the conventional BL path. There is no register cache and no prefetch.
+// into a shared-memory partition, trading their access latency for higher
+// warp occupancy. The partition is RESERVED from the SM's real scratchpad
+// (memsys.SharedMem): its capacity contends with the workload's own
+// __shared__ arrays — when they leave no room, regdem falls back to the
+// baseline partitioning and demotes nothing — and every spill access goes
+// through the scratchpad's banks, queueing behind the workload's shared
+// loads/stores. There is no register cache and no prefetch.
 type RegDem struct {
 	cfg     Config
-	banks   *BankSet // main RF
-	shared  *BankSet // shared-memory spill partition
+	banks   *BankSet          // main RF
+	shared  *memsys.SharedMem // SM scratchpad holding the spill partition
 	net     int64
 	demoted bitvec.Vector
 	st      Stats
 }
 
-// NewRegDem builds the register-demotion design for one kernel. prog may be
-// nil (no demotion metadata), in which case no register is demoted.
-func NewRegDem(cfg Config, prog *isa.Program) *RegDem {
-	return &RegDem{
-		cfg:     cfg,
-		banks:   NewBankSet(cfg.Banks, cfg.MainBankInitiation(), cfg.MainBankCycles()),
-		shared:  NewBankSet(regdemSharedBanks, 1, regdemSharedCycles),
-		net:     int64(cfg.MainNetCycles()),
-		demoted: demotedRegs(prog),
+// NewRegDem builds the register-demotion design for one kernel. With a nil
+// ctx.Prog no register is demoted; with a nil ctx.SharedMem the design runs
+// against a private default-geometry scratchpad (static analyses and unit
+// tests that model no memory system).
+func NewRegDem(ctx BuildContext) *RegDem {
+	cfg := ctx.Config
+	shared := ctx.SharedMem
+	if shared == nil {
+		shared = memsys.NewSharedMem(memsys.SharedMemConfig{})
 	}
+	d := &RegDem{
+		cfg:    cfg,
+		banks:  NewBankSet(cfg.Banks, cfg.MainBankInitiation(), cfg.MainBankCycles()),
+		shared: shared,
+		net:    int64(cfg.MainNetCycles()),
+	}
+	warps := ctx.Warps
+	if warps < 1 {
+		warps = 1
+	}
+	cold := coldOrder(ctx.Prog)
+	// The workload-leaves-no-room fallback happens HERE: a full scratchpad
+	// makes regdemFit return 0 and regdem behaves exactly like BL. The
+	// Reserve below then always fits when this constructor is the
+	// scratchpad's only client; the guard covers embedding callers that
+	// share one scratchpad across several subsystems.
+	k := regdemFit(regdemDemoteCount(len(cold)), shared.FreeBytes(), warps)
+	if k > 0 && !shared.Reserve(k*regdemBytesPerWarpReg*warps) {
+		k = 0
+	}
+	for _, r := range cold[:k] {
+		d.demoted.Set(r)
+	}
+	return d
 }
 
-// demotedRegs picks the demotion set: the 1/4 of the kernel's registers with
-// the lowest static use counts (ties broken by higher register number, so
-// the choice is deterministic), keeping at least regdemMinRFRegs in the
-// main RF.
-func demotedRegs(prog *isa.Program) bitvec.Vector {
-	var out bitvec.Vector
+// coldOrder ranks the kernel's registers coldest-first for demotion: by
+// ascending static use count, ties broken by DESCENDING register number
+// (higher-numbered registers are later allocator picks, i.e. colder names).
+// The order is fully deterministic — it depends only on the instruction
+// sequence, never on map iteration — so two compilations of the same kernel
+// always demote the same spill set (see TestRegDemSelectionDeterministic).
+func coldOrder(prog *isa.Program) []int {
 	if prog == nil {
-		return out
+		return nil
 	}
 	nregs := prog.RegCount()
-	if nregs <= regdemMinRFRegs {
-		return out
-	}
 	uses := make([]int, nregs)
 	for i := range prog.Instrs {
 		for _, r := range prog.Instrs[i].Regs() {
@@ -86,13 +165,6 @@ func demotedRegs(prog *isa.Program) bitvec.Vector {
 				uses[r]++
 			}
 		}
-	}
-	k := nregs / regdemDemoteDiv
-	if keep := nregs - k; keep < regdemMinRFRegs {
-		k = nregs - regdemMinRFRegs
-	}
-	if k <= 0 {
-		return out
 	}
 	order := make([]int, nregs)
 	for i := range order {
@@ -105,10 +177,7 @@ func demotedRegs(prog *isa.Program) bitvec.Vector {
 		}
 		return ra > rb
 	})
-	for _, r := range order[:k] {
-		out.Set(r)
-	}
-	return out
+	return order
 }
 
 func (c *RegDem) Name() string   { return "regdem" }
@@ -117,11 +186,12 @@ func (c *RegDem) Config() Config { return c.cfg }
 
 // sharedBank spreads a warp's demoted registers over the scratchpad banks.
 func (c *RegDem) sharedBank(w *WarpRegs, r isa.Reg) int {
-	return (int(r) + w.ID*3) % regdemSharedBanks
+	return (int(r) + w.ID*3) % c.shared.Config().Banks
 }
 
 // ReadOperands reads main-RF residents from their banks and demoted
-// registers from the shared-memory partition at its fixed latency.
+// registers from the shared-memory partition, queueing behind whatever
+// workload shared-memory traffic occupies the bank.
 func (c *RegDem) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
 	done := now
 	for _, r := range srcs {
@@ -142,11 +212,13 @@ func (c *RegDem) ReadOperands(now int64, w *WarpRegs, srcs []isa.Reg) int64 {
 
 // WriteResult writes through the buffered store path of whichever level
 // holds the register; like BL, writes pay the bank occupancy, not the full
-// read latency.
+// read latency. A spill write still claims its scratchpad bank cycle, so
+// write traffic contends with the workload like read traffic does.
 func (c *RegDem) WriteResult(now int64, w *WarpRegs, dst isa.Reg) int64 {
 	if c.demoted.Test(int(dst)) {
 		c.st.SpillAccesses++
-		return c.shared.Initiation()
+		c.shared.Access(now, c.sharedBank(w, dst))
+		return 1
 	}
 	c.st.MainWrites++
 	return c.banks.Initiation()
@@ -166,3 +238,7 @@ func (c *RegDem) OnDeactivate(now int64, w *WarpRegs) int64 { return now }
 
 // Demoted exposes the demotion set (diagnostics and tests).
 func (c *RegDem) Demoted() bitvec.Vector { return c.demoted }
+
+// SharedMem exposes the scratchpad the spill partition lives in
+// (diagnostics and tests).
+func (c *RegDem) SharedMem() *memsys.SharedMem { return c.shared }

@@ -8,6 +8,7 @@ import (
 
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
 )
 
@@ -38,9 +39,14 @@ type Descriptor struct {
 	UsesStrands bool
 
 	// CapacityX scales the design's effective main-RF capacity for the
-	// occupancy decision (0 means 1.0). regdem uses it: demoting a quarter
-	// of the registers to shared memory leaves room for 4/3 the warps.
-	CapacityX float64
+	// occupancy decision; nil means 1.0. The hook is kernel-dependent: comp
+	// derives the gain from the kernel's measured compressibility coverage
+	// (compressed registers pack denser, so more warps fit), and regdem
+	// from the demotion set its compiler pass would actually pick — refusing
+	// the gain when the workload's own shared-memory usage leaves no room
+	// for the spill scratchpad. Hooks must return a positive scale and
+	// degrade to 1.0 when the context is too thin to judge.
+	CapacityX func(ctx CapacityContext) float64
 
 	// Timing optionally remaps the (technology point, latency multiplier)
 	// pair the design's timing Config derives from. The Ideal design pins
@@ -62,12 +68,56 @@ type Descriptor struct {
 // derived timing configuration, the register-allocated kernel (for designs
 // that derive per-register metadata, like comp's compressibility map or
 // regdem's demotion set), the prefetch partition (non-nil iff the descriptor
-// sets NeedsUnits), and the simulation seed.
+// sets NeedsUnits), the SM's shared-memory scratchpad, the resident warp
+// count, and the simulation seed.
 type BuildContext struct {
 	Config Config
 	Prog   *isa.Program
 	Part   *core.Partition
 	Seed   uint64
+
+	// SharedMem is the SM's shared-memory scratchpad. Designs that spill
+	// registers into shared memory (regdem) must Reserve their partition
+	// from it — contending for capacity with the workload's own usage — and
+	// route spill accesses through its banks. nil means the caller models
+	// no memory system (static analyses, unit tests); designs then build a
+	// private scratchpad with default geometry.
+	SharedMem *memsys.SharedMem
+
+	// Warps is the resident warp count the occupancy decision granted; 0
+	// when the caller has not resolved occupancy. Designs size per-warp
+	// scratchpad reservations with it.
+	Warps int
+}
+
+// CapacityContext is what a Descriptor.CapacityX hook may consult when
+// scaling a design's effective main-RF capacity for the occupancy decision.
+// The hook runs BEFORE register allocation, so Prog may still use virtual
+// registers; hooks must tolerate nil Prog and nil Occupancy (static
+// contexts) by returning 1.0 or a kernel-independent estimate.
+type CapacityContext struct {
+	// Prog is the kernel under compilation (possibly virtual-register).
+	Prog *isa.Program
+	// Demand is the unconstrained per-thread register demand.
+	Demand int
+	// BaseCapB is the main-RF capacity in bytes before design scaling,
+	// with the non-cached fairness adjustment already applied.
+	BaseCapB int
+	// MaxWarps / MinWarps bound the occupancy decision.
+	MaxWarps int
+	MinWarps int
+	// SharedFreeB is the SM's shared-memory capacity left after the
+	// workload's own footprint. A NEGATIVE value means "no shared-memory
+	// model" — the analog of BuildContext.SharedMem == nil for hand-built
+	// contexts, where hooks must not refuse on budget. Callers building a
+	// CapacityContext without a memory system should set it to -1
+	// explicitly: the zero value means a FULL scratchpad, not an unknown
+	// one. sim.Config.CapacityScale always supplies a real budget.
+	SharedFreeB int
+	// Occupancy resolves (regCap, warps) for a register demand and a main-RF
+	// capacity in bytes under the caller's occupancy policy (sim.Occupancy);
+	// nil in static contexts.
+	Occupancy func(demand, capB int) (regCap, warps int)
 }
 
 var (

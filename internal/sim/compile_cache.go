@@ -130,34 +130,57 @@ func (cc *CompileCache) Partition(prog *isa.Program, strands bool, n int) (*core
 	return e.part, e.err
 }
 
+// CompileInfo is the outcome of the compiler pipeline for one
+// configuration: the allocated kernel, its prefetch partition (nil unless
+// the design needs units), and the occupancy decision that shaped the
+// allocation.
+type CompileInfo struct {
+	Prog   *isa.Program
+	Part   *core.Partition
+	Demand int // unconstrained per-thread register demand
+	RegCap int // per-thread register cap the occupancy decision imposed
+	Warps  int // resident warps the capacity allows
+	Spills int // registers spilled by the cap
+	// CapacityKB is the effective occupancy capacity after the design's
+	// kernel-dependent CapacityX scaling.
+	CapacityKB int
+}
+
 // Compile is the cache-aware equivalent of the package-level Compile: the
-// occupancy decision is recomputed per configuration (it is cheap and
-// depends on capacity knobs), while pressure analysis, allocation, and
-// partition formation are memoized.
-func (cc *CompileCache) Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Partition, demand, warps, spills int, err error) {
+// occupancy decision is recomputed per configuration (it is cheap, and its
+// design CapacityX hook depends on capacity knobs and the kernel), while
+// pressure analysis, allocation, and partition formation are memoized.
+func (cc *CompileCache) Compile(c *Config, virtual *isa.Program) (CompileInfo, error) {
 	desc, err := c.Design.Descriptor()
 	if err != nil {
-		return nil, nil, 0, 0, 0, err
+		return CompileInfo{}, err
 	}
-	demand, err = cc.Pressure(virtual)
+	demand, err := cc.Pressure(virtual)
 	if err != nil {
-		return nil, nil, 0, 0, 0, err
+		return CompileInfo{}, err
 	}
-	capB := c.EffectiveCapacityKB() * 1024
-	regCap, warps := Occupancy(demand, capB, c.MaxWarps, c.ActiveWarps)
-
-	prog, spills, err = cc.Allocate(virtual, regCap)
+	regCap, warps, capKB, err := c.ResolveOccupancy(demand, virtual)
 	if err != nil {
-		return nil, nil, 0, 0, 0, err
+		return CompileInfo{}, err
 	}
 
+	prog, spills, err := cc.Allocate(virtual, regCap)
+	if err != nil {
+		return CompileInfo{}, err
+	}
+
+	var part *core.Partition
 	if desc.NeedsUnits {
 		part, err = cc.Partition(prog, desc.UsesStrands, c.RegsPerInterval)
 		if err != nil {
-			return nil, nil, 0, 0, 0, err
+			return CompileInfo{}, err
 		}
 	}
-	return prog, part, demand, warps, spills, nil
+	return CompileInfo{
+		Prog: prog, Part: part,
+		Demand: demand, RegCap: regCap, Warps: warps, Spills: spills,
+		CapacityKB: capKB,
+	}, nil
 }
 
 // allocateAnnotated is the uncached allocation + dead-bit annotation step.

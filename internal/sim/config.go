@@ -12,7 +12,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
+	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
 	"ltrf/internal/regfile"
@@ -136,11 +138,12 @@ func DefaultConfig(d Design) Config {
 	}
 }
 
-// EffectiveCapacityKB returns the main RF capacity used for occupancy: the
-// non-cached designs' fairness adjustment (+CacheKB, §5) and the design's
-// CapacityX scaling, both resolved from its registry descriptor. An unknown
-// design contributes no adjustment; Validate surfaces it as an error.
-func (c *Config) EffectiveCapacityKB() int {
+// BaseCapacityKB returns the main RF capacity BEFORE design scaling: the
+// CapacityKB override (or the technology point's capacity) plus the
+// non-cached designs' fairness adjustment (+CacheKB, §5), resolved from the
+// design's registry descriptor. An unknown design contributes no
+// adjustment; Validate surfaces it as an error.
+func (c *Config) BaseCapacityKB() int {
 	kb := c.CapacityKB
 	if kb == 0 {
 		kb = c.Tech.CapacityKB()
@@ -152,10 +155,62 @@ func (c *Config) EffectiveCapacityKB() int {
 	if !desc.IsCached {
 		kb += c.CacheKB
 	}
-	if desc.CapacityX > 0 {
-		kb = int(float64(kb)*desc.CapacityX + 0.5)
-	}
 	return kb
+}
+
+// SharedFreeBytes returns the SM shared-memory capacity left for
+// register-file scratchpads after the kernel's own footprint — the budget
+// capacity-scaling hooks (regdem) size their spill partitions against.
+func (c *Config) SharedFreeBytes(kernel *isa.Program) int {
+	sh := c.Mem.Shared.Normalized(c.Mem.SharedCycles)
+	used := memsys.WorkloadSharedBytes(kernel)
+	if used > sh.SizeB {
+		used = sh.SizeB
+	}
+	return sh.SizeB - used
+}
+
+// ResolveOccupancy makes the maxregcount-style occupancy decision for a
+// kernel with unconstrained register demand `demand` under this
+// configuration's design: the base capacity is scaled through the design
+// descriptor's kernel-dependent CapacityX hook (comp's compressibility
+// coverage, regdem's shared-memory-bounded demotion plan), then Occupancy
+// resolves the per-thread register cap and resident warp count. It returns
+// the effective capacity in KB alongside, for reporting. A hook returning a
+// non-positive or non-finite scale is treated as 1.0.
+func (c *Config) ResolveOccupancy(demand int, kernel *isa.Program) (regCap, warps, capKB int, err error) {
+	if _, err := c.Design.Descriptor(); err != nil {
+		return 0, 0, 0, err
+	}
+	capB := int(float64(c.BaseCapacityKB()*1024)*c.CapacityScale(demand, kernel) + 0.5)
+	regCap, warps = Occupancy(demand, capB, c.MaxWarps, c.ActiveWarps)
+	return regCap, warps, (capB + 512) / 1024, nil
+}
+
+// CapacityScale evaluates the design's kernel-dependent CapacityX hook for
+// a kernel with the given register demand: 1.0 for designs without a hook,
+// for unknown designs, and for hooks returning a non-positive or non-finite
+// scale.
+func (c *Config) CapacityScale(demand int, kernel *isa.Program) float64 {
+	desc, err := c.Design.Descriptor()
+	if err != nil || desc.CapacityX == nil {
+		return 1
+	}
+	capX := desc.CapacityX(regfile.CapacityContext{
+		Prog:        kernel,
+		Demand:      demand,
+		BaseCapB:    c.BaseCapacityKB() * 1024,
+		MaxWarps:    c.MaxWarps,
+		MinWarps:    c.ActiveWarps,
+		SharedFreeB: c.SharedFreeBytes(kernel),
+		Occupancy: func(d, capB int) (int, int) {
+			return Occupancy(d, capB, c.MaxWarps, c.ActiveWarps)
+		},
+	})
+	if capX <= 0 || math.IsNaN(capX) || math.IsInf(capX, 0) {
+		return 1
+	}
+	return capX
 }
 
 // Validate checks the configuration for consistency.
@@ -165,6 +220,9 @@ func (c *Config) Validate() error {
 	}
 	if c.LatencyX <= 0 {
 		return fmt.Errorf("sim: LatencyX %v must be positive", c.LatencyX)
+	}
+	if c.CapacityKB < 0 || c.CacheKB < 0 {
+		return fmt.Errorf("sim: capacities must be non-negative (CapacityKB %d, CacheKB %d)", c.CapacityKB, c.CacheKB)
 	}
 	if c.MaxWarps < 1 || c.ActiveWarps < 1 {
 		return fmt.Errorf("sim: warp counts must be positive (%d/%d)", c.MaxWarps, c.ActiveWarps)

@@ -30,10 +30,11 @@ func RunGPU(c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
 	if nSMs < 1 {
 		nSMs = 1
 	}
-	prog, part, _, warps, _, err := Compile(&c, virtual)
+	info, err := (*CompileCache)(nil).Compile(&c, virtual)
 	if err != nil {
 		return nil, err
 	}
+	prog, part, warps := info.Prog, info.Part, info.Warps
 
 	l2 := memsys.MustNewCache(c.Mem.L2)
 	dram := memsys.NewDRAM(c.Mem.DRAM)
@@ -48,11 +49,15 @@ func RunGPU(c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
 
 	sms := make([]*SM, nSMs)
 	for i := 0; i < nSMs; i++ {
-		rf, err := buildSubsystem(&c, prog, part)
+		// Each SM owns a private shared-memory scratchpad; its register
+		// subsystem reserves spill space from ITS scratchpad, so per-SM
+		// contention stays local while L2/DRAM contention is shared.
+		mem := memsys.NewShared(c.Mem, l2, dram)
+		mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual))
+		rf, err := buildSubsystem(&c, prog, part, mem.Shared, warps)
 		if err != nil {
 			return nil, err
 		}
-		mem := memsys.NewShared(c.Mem, l2, dram)
 		sms[i] = newSM(&c, prog, part, rf, mem, warps, activeCap, i*warps)
 	}
 

@@ -18,11 +18,12 @@ func buildTestSM(t testing.TB, c Config, virtual *isa.Program) *SM {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf, err := buildSubsystem(&c, prog, part)
+	mem := memsys.NewHierarchy(c.Mem)
+	mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual))
+	rf, err := buildSubsystem(&c, prog, part, mem.Shared, warps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem := memsys.NewHierarchy(c.Mem)
 	activeCap := c.ActiveWarps
 	if activeCap > warps {
 		activeCap = warps

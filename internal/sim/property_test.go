@@ -1,0 +1,238 @@
+package sim
+
+// Property-based conformance: every register-file design in the open
+// registry, driven through the FULL simulator (not the unit-level subsystem
+// harness of internal/regfile), across the cross-product of technology
+// points x capacity scales x the whole workload suite. The invariants are
+// the contracts the experiment drivers and the power model rely on:
+//
+//   - occupancy never exceeds the hardware bound (warp count, register cap,
+//     capacity accounting);
+//   - every simulator and subsystem counter is non-negative, and the
+//     subsystem's counters CONSERVE the simulator's demand (each operand
+//     read / result write the SM issued is accounted for by exactly one
+//     subsystem counter, per the design's service structure);
+//   - every energy term the power model derives is non-negative and finite;
+//   - cycles are monotone under added register-file latency.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ltrf/internal/isa"
+	"ltrf/internal/memtech"
+	"ltrf/internal/power"
+	"ltrf/internal/regfile"
+	"ltrf/internal/workloads"
+)
+
+// propertyBudget keeps the cross-product affordable: invariants hold at any
+// budget, so a short run checks them as well as a long one.
+const propertyBudget = 1200
+
+// propertyWorkloads returns the workload suite (a spread subset in -short
+// mode) with kernels built once, so the shared compile cache can memoize
+// allocations across the whole cross-product.
+func propertyWorkloads(t testing.TB) []struct {
+	name string
+	prog *isa.Program
+} {
+	t.Helper()
+	all := workloads.All()
+	stride := 1
+	if testing.Short() {
+		stride = 6
+	}
+	var out []struct {
+		name string
+		prog *isa.Program
+	}
+	for i := 0; i < len(all); i += stride {
+		out = append(out, struct {
+			name string
+			prog *isa.Program
+		}{all[i].Name, all[i].Build(workloads.UnrollMaxwell)})
+	}
+	return out
+}
+
+// checkNonNegativeInt64Fields asserts every int64 field of a struct value
+// is >= 0, by reflection so new counters are covered automatically.
+func checkNonNegativeInt64Fields(t *testing.T, label string, v interface{}) {
+	t.Helper()
+	rv := reflect.ValueOf(v)
+	tp := rv.Type()
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).Kind() != reflect.Int64 || !rv.Field(i).CanInt() {
+			continue
+		}
+		if rv.Field(i).Int() < 0 {
+			t.Errorf("%s: %s.%s = %d, must never go negative", label, tp.Name(), tp.Field(i).Name, rv.Field(i).Int())
+		}
+	}
+}
+
+// checkConservation asserts the design's subsystem counters account for the
+// SM's operand-read and result-write demand. The laws are per service
+// structure:
+//
+//   - main-RF-only designs (BL, Ideal, comp) serve every read from the main
+//     RF and every write to it;
+//   - regdem splits both between the main RF and the spill partition;
+//   - cached designs (RFC, SHRF, LTRF variants) front every read and write
+//     with the register cache (CacheReads counts read ATTEMPTS; main-RF
+//     reads beyond the demand are prefetch/miss traffic, so only an
+//     inequality binds them).
+//
+// An unknown (future plugin) design gets the weakest law: the read-serving
+// counters must cover the demand.
+func checkConservation(t *testing.T, label string, desc regfile.Descriptor, st Stats) {
+	t.Helper()
+	rf := st.RF
+	switch desc.Name {
+	case "BL", "Ideal", "comp":
+		if rf.MainReads != st.OperandReads {
+			t.Errorf("%s: MainReads %d != OperandReads %d", label, rf.MainReads, st.OperandReads)
+		}
+		if rf.MainWrites != st.ResultWrites {
+			t.Errorf("%s: MainWrites %d != ResultWrites %d", label, rf.MainWrites, st.ResultWrites)
+		}
+	case "regdem":
+		if got := rf.MainReads + rf.MainWrites + rf.SpillAccesses; got != st.OperandReads+st.ResultWrites {
+			t.Errorf("%s: main+spill accesses %d != operand reads %d + result writes %d",
+				label, got, st.OperandReads, st.ResultWrites)
+		}
+	case "RFC", "SHRF", "LTRF", "LTRF+", "LTRF(strand)":
+		if rf.CacheReads != st.OperandReads {
+			t.Errorf("%s: CacheReads %d != OperandReads %d", label, rf.CacheReads, st.OperandReads)
+		}
+		if rf.CacheWrites != st.ResultWrites {
+			t.Errorf("%s: CacheWrites %d != ResultWrites %d", label, rf.CacheWrites, st.ResultWrites)
+		}
+	default:
+		if got := rf.MainReads + rf.CacheReads + rf.SpillAccesses; got < st.OperandReads {
+			t.Errorf("%s: read-serving counters %d < OperandReads %d", label, got, st.OperandReads)
+		}
+	}
+	if rf.CacheReadHits > rf.CacheReads {
+		t.Errorf("%s: CacheReadHits %d > CacheReads %d", label, rf.CacheReadHits, rf.CacheReads)
+	}
+	if rf.CompressedAccesses > rf.MainReads+rf.MainWrites {
+		t.Errorf("%s: CompressedAccesses %d > main accesses %d",
+			label, rf.CompressedAccesses, rf.MainReads+rf.MainWrites)
+	}
+}
+
+// checkEnergy asserts every term of the design's energy breakdown is
+// non-negative and finite, and the derived EDP metrics are ordered sanely.
+func checkEnergy(t *testing.T, label string, desc regfile.Descriptor, tech memtech.Params, st Stats) {
+	t.Helper()
+	b := power.NewModelFor(desc, tech).Compute(st.Cycles, st.RF)
+	rv := reflect.ValueOf(b)
+	tp := rv.Type()
+	for i := 0; i < rv.NumField(); i++ {
+		v := rv.Field(i).Float()
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: energy term %s = %v, must be finite and non-negative", label, tp.Field(i).Name, v)
+		}
+	}
+	if b.Total() < 0 || b.EDP(st.Cycles) < 0 || b.ED2P(st.Cycles) < 0 {
+		t.Errorf("%s: negative Total/EDP/ED2P", label)
+	}
+	if st.Cycles >= 1 && b.ED2P(st.Cycles) < b.EDP(st.Cycles) {
+		t.Errorf("%s: ED2P %v < EDP %v at %d cycles", label, b.ED2P(st.Cycles), b.EDP(st.Cycles), st.Cycles)
+	}
+}
+
+// TestDesignInvariantsCrossProduct is the conformance centerpiece: every
+// registered design x memtech configs {1, 6, 7} x capacity scales
+// {0.5, 1, 2} x the workload suite, asserting the occupancy bound, counter
+// conservation, and energy non-negativity on every simulation.
+func TestDesignInvariantsCrossProduct(t *testing.T) {
+	cc := NewCompileCache()
+	ws := propertyWorkloads(t)
+	techs := []int{1, 6, 7}
+	scales := []float64{0.5, 1, 2}
+
+	for _, name := range regfile.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			desc, err := regfile.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tech := range techs {
+				for _, scale := range scales {
+					for _, w := range ws {
+						c := DefaultConfig(Design(name))
+						c.Tech = memtech.MustConfig(tech)
+						c.CapacityKB = int(float64(c.Tech.CapacityKB()) * scale)
+						c.MaxInstrs = propertyBudget
+						c.MaxCycles = propertyBudget * 12
+						res, err := RunWithCache(c, w.prog, cc)
+						if err != nil {
+							t.Fatalf("tech#%d x%.1f %s: %v", tech, scale, w.name, err)
+						}
+						label := name + "/" + w.name
+
+						// Occupancy <= the hardware bound: warp count within
+						// the scheduler limit, register state within the
+						// effective capacity (1KB slack for the KB rounding
+						// of the reported capacity).
+						if res.Warps < 1 || res.Warps > c.MaxWarps {
+							t.Errorf("%s: %d warps outside [1,%d]", label, res.Warps, c.MaxWarps)
+						}
+						if used := res.Warps * res.RegsPerThread * 128; used > res.Capacity*1024+1024 {
+							t.Errorf("%s: %dB of register state exceeds effective capacity %dKB",
+								label, used, res.Capacity)
+						}
+						if res.RegsPerThread > isa.MaxArchRegs {
+							t.Errorf("%s: %d regs/thread exceeds the architectural limit", label, res.RegsPerThread)
+						}
+
+						checkNonNegativeInt64Fields(t, label, res.Stats)
+						checkNonNegativeInt64Fields(t, label, res.RF)
+						checkConservation(t, label, desc, res.Stats)
+						checkEnergy(t, label, desc, res.Config.Tech, res.Stats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCyclesMonotoneUnderAddedLatency asserts the sweep figures' core
+// assumption: making the main register file slower never makes a kernel
+// finish meaningfully faster. A 2% tolerance absorbs discrete-scheduling
+// butterfly effects (a slower read can reorder issue decisions); designs
+// whose Timing hook pins the baseline point (Ideal) pass trivially with
+// equal cycles.
+func TestCyclesMonotoneUnderAddedLatency(t *testing.T) {
+	cc := NewCompileCache()
+	ws := propertyWorkloads(t)
+	for _, name := range regfile.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, w := range ws {
+				base := DefaultConfig(Design(name))
+				base.MaxInstrs = propertyBudget
+				base.MaxCycles = propertyBudget * 12
+				fast, err := RunWithCache(base, w.prog, cc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow := base
+				slow.LatencyX = 6.3
+				slowRes, err := RunWithCache(slow, w.prog, cc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if float64(slowRes.Cycles) < float64(fast.Cycles)*0.98 {
+					t.Errorf("%s/%s: cycles NOT monotone under added latency: %d at 1x -> %d at 6.3x",
+						name, w.name, fast.Cycles, slowRes.Cycles)
+				}
+			}
+		})
+	}
+}

@@ -63,15 +63,21 @@ func Occupancy(demand, capB, maxWarps, minWarps int) (regCap, warps int) {
 // (linear-scan pressure), not the tighter max-live bound: allocating at
 // max-live would inject spill code even with no capacity cap.
 func Compile(c *Config, virtual *isa.Program) (prog *isa.Program, part *core.Partition, demand, warps int, spills int, err error) {
-	return (*CompileCache)(nil).Compile(c, virtual)
+	info, err := (*CompileCache)(nil).Compile(c, virtual)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	return info.Prog, info.Part, info.Demand, info.Warps, info.Spills, nil
 }
 
 // buildSubsystem constructs the register-file design under test by
 // resolving the Config's design in the regfile registry: the descriptor's
 // Timing hook may remap the (tech, latency) pair (Ideal pins the baseline
-// point), and its constructor receives the compiled kernel and partition so
-// designs can derive per-register metadata.
-func buildSubsystem(c *Config, prog *isa.Program, part *core.Partition) (regfile.Subsystem, error) {
+// point), and its constructor receives the compiled kernel, partition, the
+// SM's shared-memory scratchpad, and the resident warp count, so designs
+// can derive per-register metadata and reserve spill space from the real
+// memory system.
+func buildSubsystem(c *Config, prog *isa.Program, part *core.Partition, shared *memsys.SharedMem, warps int) (regfile.Subsystem, error) {
 	desc, err := c.Design.Descriptor()
 	if err != nil {
 		return nil, err
@@ -88,10 +94,12 @@ func buildSubsystem(c *Config, prog *isa.Program, part *core.Partition) (regfile
 		return nil, err
 	}
 	return regfile.Build(desc.Name, regfile.BuildContext{
-		Config: rfCfg,
-		Prog:   prog,
-		Part:   part,
-		Seed:   c.Seed,
+		Config:    rfCfg,
+		Prog:      prog,
+		Part:      part,
+		Seed:      c.Seed,
+		SharedMem: shared,
+		Warps:     warps,
 	})
 }
 
@@ -110,19 +118,28 @@ func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, er
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	prog, part, demand, warps, spills, err := cc.Compile(&c, virtual)
+	info, err := cc.Compile(&c, virtual)
 	if err != nil {
 		return nil, err
 	}
-	rf, err := buildSubsystem(&c, prog, part)
-	if err != nil {
-		return nil, err
-	}
+
+	// The memory system exists before the register subsystem: designs that
+	// spill into shared memory (regdem) reserve their scratchpad from the
+	// hierarchy's occupancy-tracked shared memory, AFTER the workload's own
+	// footprint is recorded — so the reservation can fail and the design
+	// falls back, exactly as the occupancy hook predicted.
 	mem := memsys.NewHierarchy(c.Mem)
+	mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual))
+
+	rf, err := buildSubsystem(&c, info.Prog, info.Part, mem.Shared, info.Warps)
+	if err != nil {
+		return nil, err
+	}
 
 	// Table 3: the simulated system uses the two-level scheduler [19, 53]
 	// for every design, including the BL baseline. FlatScheduler is the
 	// ablation knob that makes all resident warps schedulable.
+	warps := info.Warps
 	activeCap := c.ActiveWarps
 	if c.FlatScheduler {
 		activeCap = warps
@@ -131,18 +148,18 @@ func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, er
 		activeCap = warps
 	}
 
-	sm := newSM(&c, prog, part, rf, mem, warps, activeCap, 0)
+	sm := newSM(&c, info.Prog, info.Part, rf, mem, warps, activeCap, 0)
 	st := sm.run()
 	st.Warps = warps
-	st.RegsPerThread = prog.RegCount()
-	st.SpilledRegs = spills
+	st.RegsPerThread = info.Prog.RegCount()
+	st.SpilledRegs = info.Spills
 
 	return &Result{
 		Stats:    st,
 		Design:   c.Design,
 		Config:   c,
 		Kernel:   virtual.Name,
-		Demand:   demand,
-		Capacity: c.EffectiveCapacityKB(),
+		Demand:   info.Demand,
+		Capacity: info.CapacityKB,
 	}, nil
 }

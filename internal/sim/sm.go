@@ -18,6 +18,14 @@ type Stats struct {
 	PrefetchStallCycles int64 // cycles warps spent stalled on PREFETCH
 	BarrierReleases     int64
 
+	// OperandReads / ResultWrites count the register operands the SM asked
+	// the register subsystem to read and the results it asked it to write.
+	// They are the simulator's side of the stats-conservation contract: every
+	// design's Subsystem counters must account for exactly this demand (see
+	// the property-based conformance suite).
+	OperandReads int64
+	ResultWrites int64
+
 	RF  regfile.Stats // register subsystem counters (copied at end)
 	Mem struct {
 		L1HitRate    float64
@@ -386,6 +394,7 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 
 	opReady := sm.cycle
 	if len(sm.srcBuf) > 0 {
+		sm.st.OperandReads += int64(len(sm.srcBuf))
 		opReady = sm.rf.ReadOperands(sm.cycle, w.Regs, sm.srcBuf)
 		// The instruction occupies the operand collector until all its
 		// operands have been gathered.
@@ -416,6 +425,7 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 	if in.Op.WritesDst() && in.Dst.Valid() {
 		// WriteResult charges resources at issue time (monotone) and
 		// returns the write latency added to the execution completion.
+		sm.st.ResultWrites++
 		writeLat := sm.rf.WriteResult(sm.cycle, w.Regs, in.Dst)
 		w.regReady[in.Dst] = execDone + writeLat
 		w.loadDest[in.Dst] = in.Op.IsLoad()

@@ -98,6 +98,31 @@ func DesignByName(name string) (Design, error) {
 	return Design(d.Name), nil
 }
 
+// DesignCapacityX evaluates a design's KERNEL-DEPENDENT effective-capacity
+// scale for the occupancy decision under the Table 3 system at the given
+// technology config (0 = configuration #1): 1.0 for designs without a
+// capacity hook; comp returns the gain its measured compressibility
+// coverage earns on this kernel; regdem the gain of the spill set that fits
+// the shared memory the kernel's own usage leaves free.
+func DesignCapacityX(design Design, techConfig int, kernel *Program) (float64, error) {
+	c := sim.DefaultConfig(design)
+	if techConfig != 0 {
+		t, err := memtech.Config(techConfig)
+		if err != nil {
+			return 0, err
+		}
+		c.Tech = t
+	}
+	if _, err := c.Design.Descriptor(); err != nil {
+		return 0, err
+	}
+	demand, err := regalloc.Pressure(kernel)
+	if err != nil {
+		return 0, err
+	}
+	return c.CapacityScale(demand, kernel), nil
+}
+
 // Tech returns the Table 2 register-file design point with 1-based index
 // 1..7 (configuration #1 is the SRAM baseline, #6 TFET, #7 DWM).
 func Tech(config int) (memtech.Params, error) { return memtech.Config(config) }
@@ -254,6 +279,14 @@ func SimulateGPU(o SimOptions, numSMs int, kernel *Program) (*GPUResult, error) 
 	}
 	return sim.RunGPU(c, numSMs, kernel)
 }
+
+// Compiler-era unroll factors for Workload.Build (Table 1): the Fermi-era
+// compiler barely unrolls, the Maxwell-era one unrolls aggressively. The
+// experiment drivers build every kernel at UnrollMaxwell.
+const (
+	UnrollFermi   = workloads.UnrollFermi
+	UnrollMaxwell = workloads.UnrollMaxwell
+)
 
 // Workload is a synthetic benchmark kernel.
 type Workload = workloads.Workload

@@ -98,8 +98,8 @@ func TestTechAccessor(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	specs := ltrf.Experiments()
-	if len(specs) != 14 {
-		t.Errorf("Experiments() = %d entries, want 14 (13 paper artifacts + designspace)", len(specs))
+	if len(specs) != 15 {
+		t.Errorf("Experiments() = %d entries, want 15 (13 paper artifacts + designspace + designsweep)", len(specs))
 	}
 	// Table 2 is cheap: run it through the public API.
 	tab, err := ltrf.RunExperiment("table2", ltrf.ExperimentOptions{Quick: true})
