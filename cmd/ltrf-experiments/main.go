@@ -12,6 +12,12 @@
 // a worker pool (-parallel, default GOMAXPROCS) with results memoized
 // across the whole invocation; tables are rendered serially from the memo,
 // so output is byte-identical at any parallelism.
+//
+// The designsweep experiment scores every registered design under BOTH
+// energy accounts — register-file-only EDP and chip-level EDP (RF +
+// L1/L2/DRAM + shared memory + SM pipelines) — with a best-design column
+// for each; rows where the two best columns differ are designs the RF-only
+// yardstick mis-ranks.
 package main
 
 import (

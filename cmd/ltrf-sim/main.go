@@ -1,5 +1,9 @@
 // Command ltrf-sim runs one workload on the simulated GPU under a chosen
-// register-file design and prints the outcome.
+// register-file design and prints the outcome, including both energy
+// accounts: the register-file-only breakdown (Figure 10's scope) and the
+// chip-level one (RF + L1/L2/DRAM + shared memory + SM pipelines), whose
+// EDP is the honest figure of merit for designs that trade memory-system
+// or pipeline cost for RF savings.
 //
 // Usage:
 //
@@ -87,4 +91,21 @@ func main() {
 	fmt.Printf("scheduler       %d activations, %d deactivations\n", res.Activations, res.Deactivations)
 	fmt.Printf("memory          L1 %.1f%%, L2 %.1f%%, DRAM row hit %.1f%%\n",
 		100*res.Mem.L1HitRate, 100*res.Mem.L2HitRate, 100*res.Mem.DRAMRowHit)
+
+	rf, err := ltrf.RFEnergy(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
+		os.Exit(1)
+	}
+	chip, err := ltrf.ChipEnergy(res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("RF energy       %.3g (EDP %.3g)\n", rf.Total(), rf.EDP(res.Cycles))
+	fmt.Printf("chip energy     %.3g (EDP %.3g; RF %.0f%%, memsys %.0f%%, SM %.0f%%)\n",
+		chip.Total(), chip.EDP(res.Cycles),
+		100*chip.RF.Total()/chip.Total(),
+		100*chip.MemsysTotal()/chip.Total(),
+		100*chip.SMTotal()/chip.Total())
 }

@@ -1,15 +1,20 @@
 // EDP frontier: rank every register-file design in the open registry by
 // energy-delay product as the main register file slows down, and report
-// which design owns the frontier at each latency point.
+// which design owns the frontier at each latency point — under BOTH energy
+// accounts: register-file-only EDP and the chip-level EDP that adds
+// L1/L2/DRAM, shared-memory, and SM-pipeline energy. A design that wins RF
+// energy by stalling the memory system looks good under the first account
+// and loses under the second; rows where the two frontiers disagree are
+// exactly those mis-rankings.
 //
 // This drives the designsweep experiment
 // (`ltrf-experiments -exp designsweep`) programmatically over a small
-// workload subset, then reads the frontier off the rendered table. It also
-// shows the kernel-dependent capacity hooks at work: comp's occupancy gain
-// follows the kernel's measured compressibility coverage, and regdem's
-// follows the spill set that fits next to the workload's own shared-memory
-// usage (zero on shared-memory-heavy kernels — the design refuses and falls
-// back to the baseline partitioning).
+// workload subset, then reads both frontiers off the rendered table. It
+// also shows the kernel-dependent capacity hooks at work: comp's occupancy
+// gain follows the kernel's measured compressibility coverage, and
+// regdem's follows the spill set that fits next to the workload's own
+// shared-memory usage (zero on shared-memory-heavy kernels — the design
+// refuses and falls back to the baseline partitioning).
 package main
 
 import (
@@ -54,9 +59,17 @@ func main() {
 	}
 	t.Fprint(os.Stdout)
 
-	// The frontier is the last column of each row.
+	// The two frontiers are the last two columns of each row: RF-only and
+	// chip-level. Disagreements are the designs the RF-only yardstick
+	// mis-ranks.
 	fmt.Println()
 	for _, row := range t.Rows {
-		fmt.Printf("at %-3s the lowest-EDP design is %s\n", row[0], row[len(row)-1])
+		bestRF, bestChip := row[len(row)-2], row[len(row)-1]
+		verdict := "the accounts agree"
+		if bestRF != bestChip {
+			verdict = "the RF-only account mis-ranks the frontier"
+		}
+		fmt.Printf("at %-3s lowest RF-EDP: %-12s lowest chip-EDP: %-12s (%s)\n",
+			row[0], bestRF, bestChip, verdict)
 	}
 }

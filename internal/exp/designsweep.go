@@ -3,21 +3,39 @@ package exp
 import (
 	"fmt"
 
-	"ltrf/internal/power"
-	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
 )
+
+// designEDPs scores one simulation under both energy accounts: the RF-only
+// energy-delay product (the design's own structures, Figure 10's scope) and
+// the chip-level EDP (RF + L1/L2/DRAM/shared-memory/SM pipelines). Both go
+// through the design's registry energy hooks at the run's technology point.
+// The two disagree exactly when a design trades non-RF cost for RF savings —
+// which is what the dual-column sweep is built to expose.
+func designEDPs(res *sim.Result) (rfEDP, chipEDP float64, err error) {
+	rf, err := res.RFEnergy()
+	if err != nil {
+		return 0, 0, err
+	}
+	chip, err := res.ChipEnergy()
+	if err != nil {
+		return 0, 0, err
+	}
+	return rf.EDP(res.Cycles), chip.EDP(res.Cycles), nil
+}
 
 // DesignSweep renders the energy-delay frontier of the open design
 // registry: every registered register-file design — the paper's seven
 // comparison points plus any plugin — simulated across the Figure 11-14
 // latency grid on the configuration-#1 technology, scored by energy-delay
-// product. One row per latency multiplier, one EDP column per design
-// (normalized to BL at 1x on the same workload, geomean over the evaluation
-// set, lower is better), and a final column naming the frontier design at
-// that latency. Columns are enumerated from the registry (Options.Designs
-// restricts them), so registering a design is all it takes to appear — and
-// to be ranked.
+// product under BOTH energy accounts. One row per latency multiplier and,
+// per design, an RF-only EDP column and a chip-level EDP column (each
+// normalized to BL at 1x under the SAME account on the same workload,
+// geomean over the evaluation set, lower is better). Two closing columns
+// name the frontier design under each account; rows where they differ are
+// the designs the RF-only yardstick mis-ranks. Columns are enumerated from
+// the registry (Options.Designs restricts them), so registering a design is
+// all it takes to appear — and to be ranked.
 func DesignSweep(o Options) (*Table, error) {
 	ws, err := o.evalSet()
 	if err != nil {
@@ -38,67 +56,72 @@ func DesignSweep(o Options) (*Table, error) {
 	}
 	eng.RunBatch(o, pts)
 
-	// edp computes a result's RF energy-delay product through the design's
-	// registry energy hook.
-	edp := func(name string, res *sim.Result) (float64, error) {
-		desc, err := regfile.Lookup(name)
-		if err != nil {
-			return 0, err
-		}
-		b := power.NewModelFor(desc, res.Config.Tech).Compute(res.Cycles, res.RF)
-		return b.EDP(res.Cycles), nil
-	}
-
-	// The BL@1x baseline EDP is per workload, shared by every cell.
-	baseEDP := make(map[string]float64, len(ws))
+	// The BL@1x baseline EDPs are per workload, shared by every cell.
+	baseRF := make(map[string]float64, len(ws))
+	baseChip := make(map[string]float64, len(ws))
 	for _, w := range ws {
 		base, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		v, err := edp(string(sim.DesignBL), base)
+		rf, chip, err := designEDPs(base)
 		if err != nil {
 			return nil, err
 		}
-		baseEDP[w.Name] = v
+		baseRF[w.Name] = rf
+		baseChip[w.Name] = chip
 	}
+
+	headers := []string{"Latency"}
+	for _, n := range names {
+		headers = append(headers, n, n+"(chip)")
+	}
+	headers = append(headers, "best(rf)", "best(chip)")
 
 	t := &Table{
 		ID:      "designsweep",
-		Title:   "Design sweep: register-file EDP of every registered design vs. latency (config #1)",
-		Headers: append(append([]string{"Latency"}, names...), "best"),
+		Title:   "Design sweep: RF-only vs chip-level EDP of every registered design vs. latency (config #1)",
+		Headers: headers,
 		Notes: []string{
-			"cells: energy-delay product relative to BL at 1x on the same workload (geomean over workloads; lower is better)",
-			"best: the registered design with the lowest EDP at that latency (the energy-delay frontier)",
-			"columns enumerated from the regfile design registry; energy through each descriptor's hooks (power.NewModelFor)",
+			"cells: energy-delay product relative to BL at 1x under the same account on the same workload (geomean over workloads; lower is better)",
+			"<design> scores register-file energy only; <design>(chip) adds L1/L2/DRAM, shared memory, and SM pipelines (power.ChipBreakdown)",
+			"best(rf)/best(chip): the lowest-EDP design under each account — rows where they differ are designs the RF-only yardstick mis-ranks",
+			"columns enumerated from the regfile design registry; energy through each descriptor's hooks (power.NewModelFor / NewChipModelFor)",
 		},
 	}
 
 	for _, x := range sweepGrid {
 		row := []string{fmt.Sprintf("%.0fx", x)}
-		best, bestVal := "", 0.0
+		bestRF, bestRFVal := "", 0.0
+		bestChip, bestChipVal := "", 0.0
 		for _, n := range names {
-			var rel []float64
+			var relRF, relChip []float64
 			for _, w := range ws {
 				res, err := eng.Eval(o.point(sim.Design(n), 1, x, w.Name))
 				if err != nil {
 					return nil, err
 				}
-				v, err := edp(n, res)
+				rf, chip, err := designEDPs(res)
 				if err != nil {
 					return nil, err
 				}
-				if base := baseEDP[w.Name]; base > 0 {
-					rel = append(rel, v/base)
+				if base := baseRF[w.Name]; base > 0 {
+					relRF = append(relRF, rf/base)
+				}
+				if base := baseChip[w.Name]; base > 0 {
+					relChip = append(relChip, chip/base)
 				}
 			}
-			gm := geomean(rel)
-			row = append(row, f2(gm))
-			if best == "" || gm < bestVal {
-				best, bestVal = n, gm
+			gmRF, gmChip := geomean(relRF), geomean(relChip)
+			row = append(row, f2(gmRF), f2(gmChip))
+			if bestRF == "" || gmRF < bestRFVal {
+				bestRF, bestRFVal = n, gmRF
+			}
+			if bestChip == "" || gmChip < bestChipVal {
+				bestChip, bestChipVal = n, gmChip
 			}
 		}
-		row = append(row, best)
+		row = append(row, bestRF, bestChip)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

@@ -46,8 +46,9 @@ type DRAM struct {
 	banks [][]dramBank // [channel][bank]
 	chBus []int64      // per-channel data-bus availability
 
-	Accesses int64
-	RowHits  int64
+	Accesses  int64
+	RowHits   int64
+	Activates int64 // row-buffer misses (precharge + activate); Accesses - RowHits
 }
 
 // NewDRAM builds the DRAM model.
@@ -81,6 +82,7 @@ func (d *DRAM) Access(now int64, addr uint64) int64 {
 		ready = start + int64(d.cfg.TCL)
 	} else {
 		// Precharge + activate + CAS, respecting tRC from last activate.
+		d.Activates++
 		actAt := start + int64(d.cfg.TRP)
 		if min := b.lastACT + int64(d.cfg.TRC); actAt < min {
 			actAt = min

@@ -58,8 +58,59 @@ type Hierarchy struct {
 	// treated as long-latency by the two-level scheduler (an L1 miss).
 	LongLatencyThreshold int64
 
-	GlobalLoads  int64
-	GlobalStores int64
+	GlobalLoads   int64
+	GlobalStores  int64
+	ConstAccesses int64 // constant-cache accesses (fixed latency; priced by ChipConfig.ConstAccessEnergy)
+}
+
+// Events aggregates the hierarchy's event counters for energy accounting
+// and conservation checks. The totals are definitionally related: every L1
+// miss issues exactly one L2 access, every L2 miss exactly one DRAM burst,
+// and every DRAM row miss exactly one activate — the chip-energy property
+// suite asserts these reconciliations on real runs. In multi-SM
+// simulations (NewShared) the L2/DRAM counters are chip-wide, so the
+// per-hierarchy laws bind only single-SM views.
+type Events struct {
+	L1Accesses int64
+	L1Hits     int64
+	L1Misses   int64
+
+	L2Accesses int64
+	L2Hits     int64
+	L2Misses   int64
+
+	DRAMAccesses  int64
+	DRAMRowHits   int64
+	DRAMActivates int64
+
+	SharedAccesses     int64
+	SharedWideAccesses int64
+	SharedConflicts    int64
+
+	GlobalLoads   int64
+	GlobalStores  int64
+	ConstAccesses int64
+}
+
+// Events returns the aggregate event counters of this hierarchy view.
+func (h *Hierarchy) Events() Events {
+	return Events{
+		L1Accesses:         h.L1D.Stats.Accesses,
+		L1Hits:             h.L1D.Stats.Hits,
+		L1Misses:           h.L1D.Stats.Misses,
+		L2Accesses:         h.L2.Stats.Accesses,
+		L2Hits:             h.L2.Stats.Hits,
+		L2Misses:           h.L2.Stats.Misses,
+		DRAMAccesses:       h.DRAM.Accesses,
+		DRAMRowHits:        h.DRAM.RowHits,
+		DRAMActivates:      h.DRAM.Activates,
+		SharedAccesses:     h.Shared.Accesses,
+		SharedWideAccesses: h.Shared.WideAccesses,
+		SharedConflicts:    h.Shared.Conflicts,
+		GlobalLoads:        h.GlobalLoads,
+		GlobalStores:       h.GlobalStores,
+		ConstAccesses:      h.ConstAccesses,
+	}
 }
 
 // NewHierarchy builds a single-SM hierarchy with private L1/L2/DRAM.
@@ -104,6 +155,7 @@ func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID int, iter int64) (do
 		// partitions living in the same structure.
 		return h.Shared.AccessWide(now), false
 	case isa.SpaceConst:
+		h.ConstAccesses++
 		return now + int64(h.cfg.ConstCycles), false
 	}
 

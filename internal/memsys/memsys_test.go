@@ -243,3 +243,57 @@ func TestQuickHierarchyBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHierarchyEventsReconcile drives a mixed access stream and asserts the
+// aggregate Events() obey the hierarchy's conservation laws: every counter
+// matches its structure's own stats, every L1 miss is exactly one L2
+// access, every L2 miss exactly one DRAM burst, and every DRAM row miss
+// exactly one activate. These are the laws the chip-level energy account is
+// built on.
+func TestHierarchyEventsReconcile(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	gl := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatRandom, Region: 2, FootprintB: 32 << 20}}
+	st := &isa.Instr{Op: isa.OpStGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatStrided, Region: 1, StrideB: 256, FootprintB: 1 << 20}}
+	sh := &isa.Instr{Op: isa.OpLdShared, Mem: &isa.MemAccess{Space: isa.SpaceShared, Pattern: isa.PatCoalesced, FootprintB: 1 << 12}}
+	co := &isa.Instr{Op: isa.OpLdConst, Mem: &isa.MemAccess{Space: isa.SpaceConst, Pattern: isa.PatCoalesced, FootprintB: 1 << 10}}
+	now := int64(0)
+	for i := int64(0); i < 200; i++ {
+		now, _ = h.Access(now, gl, int(i%7), i)
+		now, _ = h.Access(now, st, int(i%5), i)
+		now, _ = h.Access(now, sh, 0, i)
+		now, _ = h.Access(now, co, 0, i)
+	}
+	// A register-file spill client contends for the same scratchpad banks
+	// but must never show up as a wide access.
+	h.Shared.Access(now, 3)
+	h.Shared.Access(now, 3)
+
+	ev := h.Events()
+	if ev.L1Accesses != h.L1D.Stats.Accesses || ev.L1Hits != h.L1D.Stats.Hits || ev.L1Misses != h.L1D.Stats.Misses {
+		t.Errorf("L1 events %+v diverge from cache stats %+v", ev, h.L1D.Stats)
+	}
+	if ev.L1Accesses == 0 || ev.L1Hits+ev.L1Misses != ev.L1Accesses {
+		t.Errorf("L1 hits %d + misses %d != accesses %d", ev.L1Hits, ev.L1Misses, ev.L1Accesses)
+	}
+	if ev.L2Accesses != ev.L1Misses {
+		t.Errorf("L2 accesses %d != L1 misses %d", ev.L2Accesses, ev.L1Misses)
+	}
+	if ev.DRAMAccesses != ev.L2Misses {
+		t.Errorf("DRAM accesses %d != L2 misses %d", ev.DRAMAccesses, ev.L2Misses)
+	}
+	if ev.DRAMActivates != ev.DRAMAccesses-ev.DRAMRowHits {
+		t.Errorf("DRAM activates %d != accesses %d - row hits %d", ev.DRAMActivates, ev.DRAMAccesses, ev.DRAMRowHits)
+	}
+	if ev.SharedWideAccesses != 200 {
+		t.Errorf("shared wide accesses = %d, want 200 (spill accesses must not count)", ev.SharedWideAccesses)
+	}
+	if ev.SharedAccesses != 202 {
+		t.Errorf("shared accesses = %d, want 202 (200 wide + 2 spill)", ev.SharedAccesses)
+	}
+	if ev.ConstAccesses != 200 {
+		t.Errorf("const accesses = %d, want 200", ev.ConstAccesses)
+	}
+	if ev.GlobalLoads != 200 || ev.GlobalStores != 200 {
+		t.Errorf("global loads/stores = %d/%d, want 200/200", ev.GlobalLoads, ev.GlobalStores)
+	}
+}

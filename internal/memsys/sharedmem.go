@@ -58,8 +58,9 @@ type SharedMem struct {
 	workloadB int // bytes claimed by the kernel's own shared arrays
 	reservedB int // bytes reserved by register-file scratchpads
 
-	Accesses  int64
-	Conflicts int64 // accesses that had to wait for a busy bank
+	Accesses     int64
+	WideAccesses int64 // warp-wide (all-bank) accesses — the kernel's own shared traffic
+	Conflicts    int64 // accesses that had to wait for a busy bank
 }
 
 // NewSharedMem builds a scratchpad, normalizing zero config fields to the
@@ -145,6 +146,7 @@ func (s *SharedMem) Access(now int64, bank int) int64 {
 // the fixed-latency model could not express.
 func (s *SharedMem) AccessWide(now int64) int64 {
 	s.Accesses++
+	s.WideAccesses++
 	start := now
 	conflict := false
 	for _, f := range s.free {

@@ -1,0 +1,317 @@
+package power
+
+// Chip-level energy accounting. The RF-only Breakdown ranks register-file
+// designs by the energy THEY consume, but LTRF's whole premise is trading RF
+// latency against chip-level behavior: a design that wins RF energy by
+// stalling the memory system (or by buying occupancy with spill traffic)
+// must not be mis-ranked. ChipBreakdown therefore composes the RF Breakdown
+// with per-component dynamic + leakage terms for the L1/L2 caches, DRAM, the
+// shared-memory scratchpad, and the SM pipelines (issue/ALU/idle), fed by
+// the event counters internal/memsys and internal/sim expose.
+//
+// Units are unchanged: everything is relative to one baseline main-RF
+// access, so RF and chip numbers compose directly and comparisons are
+// meaningful only against another figure from the same workload.
+
+import (
+	"fmt"
+	"math"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+)
+
+// ChipConfig is the chip-energy configuration surface: per-event dynamic
+// energies and per-cycle leakage powers for every non-RF component, in units
+// of one baseline main-RF access. The zero value selects the calibrated
+// defaults (Normalized); explicit fields let embedding callers re-calibrate
+// a component without forking the model. All fields must be non-negative and
+// finite (Validate) — a zero field means "default", not "free".
+type ChipConfig struct {
+	// Per-event dynamic energies.
+	L1AccessEnergy         float64 // one 128B L1D transaction (tag + data)
+	L2AccessEnergy         float64 // one 128B LLC transaction
+	DRAMAccessEnergy       float64 // one 128B DRAM burst (CAS + I/O)
+	DRAMActivateEnergy     float64 // precharge + activate on a row miss
+	SharedWideAccessEnergy float64 // one warp-wide (all-bank) scratchpad access
+	ConstAccessEnergy      float64 // one constant-cache broadcast access
+	IssueEnergy            float64 // fetch/decode/scoreboard/issue per instruction
+	ALUOpEnergy            float64 // one warp-wide SIMD ALU operation
+	SFUOpEnergy            float64 // one warp-wide special-function operation
+	MemOpEnergy            float64 // AGU + coalescer control per memory instruction
+
+	// Per-cycle leakage (and DRAM background/refresh) powers.
+	L1LeakPerCycle     float64
+	L2LeakPerCycle     float64
+	SharedLeakPerCycle float64
+	SMLeakPerCycle     float64 // pipelines, scheduler, operand collectors
+	DRAMStaticPerCycle float64 // refresh + peripheral background power
+}
+
+// Default chip-energy constants. Like the RF-side constants in power.go they
+// are calibrated, not measured: magnitudes follow the GPUWattch-style
+// decomposition (SRAM access energy roughly proportional to capacity, DRAM
+// an order of magnitude above on-chip SRAM, leakage proportional to area at
+// the reference activity of memtech's leak/dyn split).
+const (
+	// defaultL1AccessEnergy: a 16KB 4-way cache moving a 128B line — the
+	// same data width as one 1024-bit warp-register, in a structure 1/16th
+	// the RF's size, plus tag match.
+	defaultL1AccessEnergy = 0.30
+	// defaultL2AccessEnergy: the 2MB LLC is the largest on-chip SRAM; per
+	// 128B transaction it costs a multiple of a main-RF access.
+	defaultL2AccessEnergy = 2.0
+	// defaultDRAMAccessEnergy: off-chip burst (CAS + I/O drivers) — an
+	// order of magnitude above any on-chip access.
+	defaultDRAMAccessEnergy = 8.0
+	// defaultDRAMActivateEnergy: opening a 2KB row (precharge + activate)
+	// on a row-buffer miss, amortized per triggering access.
+	defaultDRAMActivateEnergy = 4.0
+	// defaultSharedWideAccessEnergy: a warp-wide access activates all 32
+	// banks of the 48KB scratchpad for 128B total — pricier than an L1 line
+	// (more decoders switching), far cheaper than 32 independent accesses.
+	defaultSharedWideAccessEnergy = 0.9
+	// defaultConstAccessEnergy: the constant cache is a small broadcast
+	// structure (one word fanned out to the warp), comparable to the 16KB
+	// register-file cache per access; its leakage is folded into the SM
+	// term.
+	defaultConstAccessEnergy = 0.12
+	// defaultIssueEnergy: fetch/decode/scoreboard/collector control per
+	// retired instruction.
+	defaultIssueEnergy = 0.25
+	// defaultALUOpEnergy: one warp-wide (32-lane) FMA-class operation costs
+	// on the order of reading one warp-register from the main RF.
+	defaultALUOpEnergy = 1.2
+	// defaultSFUOpEnergy: transcendental units switch more logic per op.
+	defaultSFUOpEnergy = 2.5
+	// defaultMemOpEnergy: address generation + coalescer per memory
+	// instruction (the per-transaction costs are charged to L1/L2/DRAM).
+	defaultMemOpEnergy = 0.5
+
+	// Leakage constants, per cycle, in the same units. The baseline 256KB
+	// RF leaks baselineLeakPerCycle (~7.1) per cycle; SRAM leakage scales
+	// with capacity, so the 16KB L1 leaks ~1/16th of that. The L2 is a 2MB
+	// structure shared by the whole chip — the per-SM slice (Table 3: 24
+	// SMs) plus its higher-Vt cells land well below capacity-proportional.
+	defaultL1LeakPerCycle     = 0.45
+	defaultL2LeakPerCycle     = 2.0
+	defaultSharedLeakPerCycle = 0.7
+	// defaultSMLeakPerCycle: the SM's non-RF logic (pipelines, scheduler,
+	// collectors, interconnect) leaks a small multiple of the L1.
+	defaultSMLeakPerCycle = 3.0
+	// defaultDRAMStaticPerCycle: refresh + DLL/peripheral background power
+	// of the per-SM DRAM share.
+	defaultDRAMStaticPerCycle = 1.5
+)
+
+// DefaultChipConfig returns the calibrated chip-energy constants.
+func DefaultChipConfig() ChipConfig {
+	return ChipConfig{
+		L1AccessEnergy:         defaultL1AccessEnergy,
+		L2AccessEnergy:         defaultL2AccessEnergy,
+		DRAMAccessEnergy:       defaultDRAMAccessEnergy,
+		DRAMActivateEnergy:     defaultDRAMActivateEnergy,
+		SharedWideAccessEnergy: defaultSharedWideAccessEnergy,
+		ConstAccessEnergy:      defaultConstAccessEnergy,
+		IssueEnergy:            defaultIssueEnergy,
+		ALUOpEnergy:            defaultALUOpEnergy,
+		SFUOpEnergy:            defaultSFUOpEnergy,
+		MemOpEnergy:            defaultMemOpEnergy,
+		L1LeakPerCycle:         defaultL1LeakPerCycle,
+		L2LeakPerCycle:         defaultL2LeakPerCycle,
+		SharedLeakPerCycle:     defaultSharedLeakPerCycle,
+		SMLeakPerCycle:         defaultSMLeakPerCycle,
+		DRAMStaticPerCycle:     defaultDRAMStaticPerCycle,
+	}
+}
+
+// Normalized fills zero fields with the calibrated defaults, so the zero
+// ChipConfig (sim.Config's default) selects the standard model and a caller
+// overriding one constant keeps the rest.
+func (c ChipConfig) Normalized() ChipConfig {
+	d := DefaultChipConfig()
+	fill := func(v *float64, def float64) {
+		if *v == 0 {
+			*v = def
+		}
+	}
+	fill(&c.L1AccessEnergy, d.L1AccessEnergy)
+	fill(&c.L2AccessEnergy, d.L2AccessEnergy)
+	fill(&c.DRAMAccessEnergy, d.DRAMAccessEnergy)
+	fill(&c.DRAMActivateEnergy, d.DRAMActivateEnergy)
+	fill(&c.SharedWideAccessEnergy, d.SharedWideAccessEnergy)
+	fill(&c.ConstAccessEnergy, d.ConstAccessEnergy)
+	fill(&c.IssueEnergy, d.IssueEnergy)
+	fill(&c.ALUOpEnergy, d.ALUOpEnergy)
+	fill(&c.SFUOpEnergy, d.SFUOpEnergy)
+	fill(&c.MemOpEnergy, d.MemOpEnergy)
+	fill(&c.L1LeakPerCycle, d.L1LeakPerCycle)
+	fill(&c.L2LeakPerCycle, d.L2LeakPerCycle)
+	fill(&c.SharedLeakPerCycle, d.SharedLeakPerCycle)
+	fill(&c.SMLeakPerCycle, d.SMLeakPerCycle)
+	fill(&c.DRAMStaticPerCycle, d.DRAMStaticPerCycle)
+	return c
+}
+
+// Validate rejects negative, NaN, or infinite energy constants. Zero is
+// valid (it means "default" under Normalized).
+func (c ChipConfig) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("power: chip energy constant %s = %v must be finite and non-negative", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"L1AccessEnergy", c.L1AccessEnergy},
+		{"L2AccessEnergy", c.L2AccessEnergy},
+		{"DRAMAccessEnergy", c.DRAMAccessEnergy},
+		{"DRAMActivateEnergy", c.DRAMActivateEnergy},
+		{"SharedWideAccessEnergy", c.SharedWideAccessEnergy},
+		{"ConstAccessEnergy", c.ConstAccessEnergy},
+		{"IssueEnergy", c.IssueEnergy},
+		{"ALUOpEnergy", c.ALUOpEnergy},
+		{"SFUOpEnergy", c.SFUOpEnergy},
+		{"MemOpEnergy", c.MemOpEnergy},
+		{"L1LeakPerCycle", c.L1LeakPerCycle},
+		{"L2LeakPerCycle", c.L2LeakPerCycle},
+		{"SharedLeakPerCycle", c.SharedLeakPerCycle},
+		{"SMLeakPerCycle", c.SMLeakPerCycle},
+		{"DRAMStaticPerCycle", c.DRAMStaticPerCycle},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChipEvents carries the non-RF event counts one simulation produced — the
+// chip model's inputs. internal/sim fills it from its Stats
+// (sim.Stats.ChipEvents); hand-built values serve unit tests.
+type ChipEvents struct {
+	Cycles int64
+	Instrs int64 // retired instructions (issue/decode energy)
+
+	ALUOps int64
+	SFUOps int64
+	MemOps int64 // memory instructions issued (AGU/coalescer control)
+
+	L1Accesses         int64 // 128B L1D transactions
+	L2Accesses         int64 // 128B LLC transactions (L1 misses)
+	DRAMAccesses       int64 // 128B DRAM bursts (LLC misses)
+	DRAMActivates      int64 // row-buffer misses (precharge + activate)
+	SharedWideAccesses int64 // warp-wide scratchpad accesses (kernel traffic)
+	ConstAccesses      int64 // constant-cache broadcast accesses
+}
+
+// ChipBreakdown decomposes chip-level energy for one simulation: the
+// register-file Breakdown plus every non-RF component's dynamic and leakage
+// terms. RF-spill traffic into the scratchpad (regdem) stays in
+// RF.SharedDynamic; the chip's Shared terms cover the kernel's own
+// warp-wide accesses and the structure's leakage, so no access is charged
+// twice.
+type ChipBreakdown struct {
+	RF Breakdown
+
+	L1Dynamic     float64
+	L1Leakage     float64
+	L2Dynamic     float64
+	L2Leakage     float64
+	DRAMDynamic   float64
+	DRAMStatic    float64
+	SharedDynamic float64
+	SharedLeakage float64
+	ConstDynamic  float64 // constant-cache broadcasts (leakage folded into SM)
+	SMDynamic     float64 // issue + ALU/SFU + memory-op control
+	SMLeakage     float64
+}
+
+// MemsysTotal returns the memory-system share of the chip energy: L1, L2,
+// DRAM, the shared-memory scratchpad, and the constant cache. It is the
+// grouping display layers (ltrf-sim's percentage split) should use, so the
+// component list lives here, next to Total, rather than being re-derived
+// at every call site.
+func (b ChipBreakdown) MemsysTotal() float64 {
+	return b.L1Dynamic + b.L1Leakage + b.L2Dynamic + b.L2Leakage +
+		b.DRAMDynamic + b.DRAMStatic + b.SharedDynamic + b.SharedLeakage +
+		b.ConstDynamic
+}
+
+// SMTotal returns the SM-pipeline share of the chip energy.
+func (b ChipBreakdown) SMTotal() float64 {
+	return b.SMDynamic + b.SMLeakage
+}
+
+// Total returns the summed chip energy: the RF total plus every non-RF
+// component. It is definitionally RF.Total() + MemsysTotal() + SMTotal(),
+// so the three groupings partition the account exactly.
+func (b ChipBreakdown) Total() float64 {
+	return b.RF.Total() + b.MemsysTotal() + b.SMTotal()
+}
+
+// EDP returns the chip-level energy-delay product over a simulated duration.
+// Because every non-RF term is non-negative, a design's chip EDP is never
+// below its RF EDP on the same run — the chip account can only demote a
+// design that pays for RF savings elsewhere, never promote it for free.
+func (b ChipBreakdown) EDP(cycles int64) float64 {
+	return b.Total() * float64(cycles)
+}
+
+// ED2P returns the chip-level energy-delay-squared product.
+func (b ChipBreakdown) ED2P(cycles int64) float64 {
+	return b.Total() * float64(cycles) * float64(cycles)
+}
+
+// ChipModel computes chip-level energy: the RF Model for the design under
+// test plus the chip-energy constants for everything else.
+type ChipModel struct {
+	RF   Model
+	Chip ChipConfig
+}
+
+// NewChipModel builds the chip model around an existing RF model with the
+// given chip constants. Zero fields select the calibrated defaults —
+// normalization is owned by Compute, so hand-built ChipModel literals get
+// the same zero-means-default rule as constructed ones.
+func NewChipModel(rf Model, chip ChipConfig) ChipModel {
+	return ChipModel{RF: rf, Chip: chip}
+}
+
+// NewChipModelFor builds the chip model from a design's registry descriptor
+// at a technology point — the chip-level analog of NewModelFor.
+func NewChipModelFor(d regfile.Descriptor, main memtech.Params, chip ChipConfig) ChipModel {
+	return NewChipModel(NewModelFor(d, main), chip)
+}
+
+// Compute turns one simulation's event counts into the chip-level energy
+// breakdown: the RF breakdown from the register-subsystem counters, plus
+// per-component dynamic energy from the memsys/pipeline events and leakage
+// proportional to the simulated duration.
+func (m ChipModel) Compute(ev ChipEvents, rf regfile.Stats) ChipBreakdown {
+	c := m.Chip.Normalized()
+	cycles := float64(ev.Cycles)
+
+	return ChipBreakdown{
+		RF: m.RF.Compute(ev.Cycles, rf),
+
+		L1Dynamic: float64(ev.L1Accesses) * c.L1AccessEnergy,
+		L1Leakage: cycles * c.L1LeakPerCycle,
+		L2Dynamic: float64(ev.L2Accesses) * c.L2AccessEnergy,
+		L2Leakage: cycles * c.L2LeakPerCycle,
+		DRAMDynamic: float64(ev.DRAMAccesses)*c.DRAMAccessEnergy +
+			float64(ev.DRAMActivates)*c.DRAMActivateEnergy,
+		DRAMStatic:    cycles * c.DRAMStaticPerCycle,
+		SharedDynamic: float64(ev.SharedWideAccesses) * c.SharedWideAccessEnergy,
+		SharedLeakage: cycles * c.SharedLeakPerCycle,
+		ConstDynamic:  float64(ev.ConstAccesses) * c.ConstAccessEnergy,
+		SMDynamic: float64(ev.Instrs)*c.IssueEnergy +
+			float64(ev.ALUOps)*c.ALUOpEnergy +
+			float64(ev.SFUOps)*c.SFUOpEnergy +
+			float64(ev.MemOps)*c.MemOpEnergy,
+		SMLeakage: cycles * c.SMLeakPerCycle,
+	}
+}

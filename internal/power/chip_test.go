@@ -1,0 +1,205 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+)
+
+// memBoundEvents fabricates counters for a memory-bound run: most
+// instructions are memory ops, caches miss, DRAM activates often, and the
+// long stalls show as many cycles per instruction.
+func memBoundEvents(cycles int64) ChipEvents {
+	return ChipEvents{
+		Cycles:        cycles,
+		Instrs:        cycles / 4,
+		ALUOps:        cycles / 20,
+		MemOps:        cycles / 5,
+		L1Accesses:    cycles / 4,
+		L2Accesses:    cycles / 6,
+		DRAMAccesses:  cycles / 8,
+		DRAMActivates: cycles / 12,
+	}
+}
+
+// computeBoundEvents fabricates counters for a compute-bound run: ALU
+// throughput near issue width, little memory traffic, caches absorb it.
+func computeBoundEvents(cycles int64) ChipEvents {
+	return ChipEvents{
+		Cycles:     cycles,
+		Instrs:     cycles * 18 / 10,
+		ALUOps:     cycles * 16 / 10,
+		SFUOps:     cycles / 20,
+		MemOps:     cycles / 10,
+		L1Accesses: cycles / 10,
+		L2Accesses: cycles / 200,
+	}
+}
+
+func chipModelBL() ChipModel {
+	return NewChipModel(NewModel(memtech.MustConfig(1), false), ChipConfig{})
+}
+
+// TestChipEDPTable is the table-driven EDP/ED2P contract: zero at zero
+// cycles, strictly monotone in cycles for any run with positive energy, and
+// ED2P >= EDP from one cycle on.
+func TestChipEDPTable(t *testing.T) {
+	m := chipModelBL()
+	cases := []struct {
+		name   string
+		events func(int64) ChipEvents
+	}{
+		{"mem-bound", memBoundEvents},
+		{"compute-bound", computeBoundEvents},
+		{"idle", func(cycles int64) ChipEvents { return ChipEvents{Cycles: cycles} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			zero := m.Compute(tc.events(0), regfile.Stats{})
+			if got := zero.EDP(0); got != 0 {
+				t.Errorf("EDP at zero cycles = %v, want 0", got)
+			}
+			if got := zero.ED2P(0); got != 0 {
+				t.Errorf("ED2P at zero cycles = %v, want 0", got)
+			}
+
+			// Monotonicity: more cycles never reduce energy, EDP, or ED2P.
+			prevTotal, prevEDP, prevED2P := 0.0, 0.0, 0.0
+			for _, cycles := range []int64{1, 100, 10_000, 1_000_000} {
+				b := m.Compute(tc.events(cycles), regfile.Stats{})
+				total, edp, ed2p := b.Total(), b.EDP(cycles), b.ED2P(cycles)
+				if total <= prevTotal {
+					t.Errorf("Total not monotone in cycles: %v at prev, %v at %d", prevTotal, total, cycles)
+				}
+				if edp <= prevEDP {
+					t.Errorf("EDP not monotone in cycles: %v then %v at %d", prevEDP, edp, cycles)
+				}
+				if ed2p <= prevED2P {
+					t.Errorf("ED2P not monotone in cycles: %v then %v at %d", prevED2P, ed2p, cycles)
+				}
+				if cycles >= 1 && ed2p < edp {
+					t.Errorf("ED2P %v < EDP %v at %d cycles", ed2p, edp, cycles)
+				}
+				prevTotal, prevEDP, prevED2P = total, edp, ed2p
+			}
+		})
+	}
+}
+
+// TestChipBreakdownOrdering pins the component ordering the synthetic pair
+// is built to show: the memory-bound run spends more on the memory system
+// (L2 + DRAM) than on SM compute, the compute-bound run the reverse — and
+// each run's share of its dominant component exceeds the other run's.
+func TestChipBreakdownOrdering(t *testing.T) {
+	m := chipModelBL()
+	const cycles = 100_000
+	mem := m.Compute(memBoundEvents(cycles), regfile.Stats{})
+	cmp := m.Compute(computeBoundEvents(cycles), regfile.Stats{})
+
+	memMemsys := mem.L2Dynamic + mem.DRAMDynamic
+	memCompute := mem.SMDynamic
+	if memMemsys <= memCompute {
+		t.Errorf("mem-bound: memsys dynamic %v must exceed SM dynamic %v", memMemsys, memCompute)
+	}
+
+	cmpMemsys := cmp.L2Dynamic + cmp.DRAMDynamic
+	cmpCompute := cmp.SMDynamic
+	if cmpCompute <= cmpMemsys {
+		t.Errorf("compute-bound: SM dynamic %v must exceed memsys dynamic %v", cmpCompute, cmpMemsys)
+	}
+
+	memShare := memMemsys / mem.Total()
+	cmpShare := cmpMemsys / cmp.Total()
+	if memShare <= cmpShare {
+		t.Errorf("memsys share must order the pair: mem-bound %v <= compute-bound %v", memShare, cmpShare)
+	}
+}
+
+func TestChipBreakdownTotalIsSum(t *testing.T) {
+	// Every field distinct and non-zero, so dropping ANY term from Total,
+	// MemsysTotal, or SMTotal changes the sums.
+	b := ChipBreakdown{
+		RF:        Breakdown{1, 2, 3, 4, 5, 6, 7, 8}, // sums to 36
+		L1Dynamic: 10, L1Leakage: 11, L2Dynamic: 12, L2Leakage: 13,
+		DRAMDynamic: 14, DRAMStatic: 15, SharedDynamic: 16, SharedLeakage: 17,
+		ConstDynamic: 18, SMDynamic: 19, SMLeakage: 20,
+	}
+	if got := b.MemsysTotal(); got != 126 {
+		t.Errorf("MemsysTotal = %v, want 126", got)
+	}
+	if got := b.SMTotal(); got != 39 {
+		t.Errorf("SMTotal = %v, want 39", got)
+	}
+	if got := b.Total(); got != 36+126+39 {
+		t.Errorf("Total = %v, want 201", got)
+	}
+}
+
+func TestChipConfigNormalizedFillsDefaults(t *testing.T) {
+	if got := (ChipConfig{}).Normalized(); got != DefaultChipConfig() {
+		t.Errorf("zero config normalizes to %+v, want defaults", got)
+	}
+	c := ChipConfig{DRAMAccessEnergy: 99}
+	n := c.Normalized()
+	if n.DRAMAccessEnergy != 99 {
+		t.Errorf("explicit field overwritten: %v", n.DRAMAccessEnergy)
+	}
+	n.DRAMAccessEnergy = DefaultChipConfig().DRAMAccessEnergy
+	if n != DefaultChipConfig() {
+		t.Errorf("unset fields not defaulted: %+v", n)
+	}
+}
+
+func TestChipConfigValidate(t *testing.T) {
+	if err := (ChipConfig{}).Validate(); err != nil {
+		t.Errorf("zero config must validate: %v", err)
+	}
+	if err := DefaultChipConfig().Validate(); err != nil {
+		t.Errorf("default config must validate: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		c    ChipConfig
+	}{
+		{"negative", ChipConfig{L2AccessEnergy: -1}},
+		{"nan", ChipConfig{SMLeakPerCycle: math.NaN()}},
+		{"inf", ChipConfig{DRAMActivateEnergy: math.Inf(1)}},
+	} {
+		err := tc.c.Validate()
+		if err == nil {
+			t.Errorf("%s config must fail validation", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "must be finite and non-negative") {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}
+
+// TestChipDominatesRF asserts the composition invariant the designsweep
+// ranking relies on: whatever the RF counters say, adding the chip
+// components can only increase energy, so chip EDP >= RF EDP.
+func TestChipDominatesRF(t *testing.T) {
+	desc, err := regfile.Lookup("LTRF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewChipModelFor(desc, memtech.MustConfig(7), ChipConfig{})
+	const cycles = 50_000
+	rfStats := regfile.Stats{
+		MainReads: cycles / 5, MainWrites: cycles / 5,
+		CacheReads: cycles, CacheWrites: cycles / 2,
+		WCBAccesses: cycles, PrefetchRegs: cycles / 5,
+	}
+	chip := m.Compute(memBoundEvents(cycles), rfStats)
+	rf := m.RF.Compute(cycles, rfStats)
+	if chip.RF != rf {
+		t.Fatalf("embedded RF breakdown diverges: %+v vs %+v", chip.RF, rf)
+	}
+	if chip.EDP(cycles) < rf.EDP(cycles) {
+		t.Errorf("chip EDP %v < RF EDP %v", chip.EDP(cycles), rf.EDP(cycles))
+	}
+}

@@ -1,0 +1,108 @@
+package power
+
+// Fuzz harness for the chip-energy configuration surface: ChipConfig fields
+// arrive from embedding callers and (through sim.Config.Chip) from anything
+// that builds simulations, so for ANY float inputs Validate must classify
+// without panicking, Normalized must be a no-op on validated configs'
+// explicit fields, and Compute on a validated config must never produce a
+// negative or NaN energy term from non-negative event counts. Overflow of
+// extreme-but-valid finite inputs to +Inf is TOLERATED (the committed
+// overflow-to-inf seed exercises it); the checks below deliberately accept
+// +Inf and skip the Total-vs-sum comparison when it occurs.
+// Seed corpus lives under testdata/fuzz; CI runs a short -fuzztime smoke.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+)
+
+func FuzzChipModelConfig(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, int64(0), int64(0), int64(0))
+	f.Add(0.3, 2.0, 8.0, 0.25, 1.2, 3.0, int64(100_000), int64(180_000), int64(12_000))
+	f.Add(-1.0, 2.0, 8.0, 0.25, 1.2, 3.0, int64(1000), int64(900), int64(50))
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, 0.0, 0.0, int64(1), int64(1), int64(1))
+	f.Add(1e300, 1e300, 1e300, 1e300, 1e300, 1e300, int64(1<<40), int64(1<<40), int64(1<<40))
+	f.Fuzz(func(t *testing.T, l1E, l2E, dramE, issueE, aluE, smLeak float64,
+		cycles, instrs, dramAccesses int64) {
+		c := ChipConfig{
+			L1AccessEnergy:   l1E,
+			L2AccessEnergy:   l2E,
+			DRAMAccessEnergy: dramE,
+			IssueEnergy:      issueE,
+			ALUOpEnergy:      aluE,
+			SMLeakPerCycle:   smLeak,
+		}
+
+		// Validation must classify, never panic; an invalid configuration
+		// ends the contract here.
+		if err := c.Validate(); err != nil {
+			return
+		}
+
+		// Normalized must preserve every explicitly set (non-zero) field and
+		// default the rest, and the result must still validate.
+		n := c.Normalized()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("Normalized config fails Validate: %v", err)
+		}
+		rc, rn := reflect.ValueOf(c), reflect.ValueOf(n)
+		for i := 0; i < rc.NumField(); i++ {
+			set := rc.Field(i).Float()
+			got := rn.Field(i).Float()
+			if set != 0 && got != set {
+				t.Fatalf("Normalized overwrote explicit %s: %v -> %v",
+					rc.Type().Field(i).Name, set, got)
+			}
+			if set == 0 && got == 0 {
+				t.Fatalf("Normalized left %s at zero", rc.Type().Field(i).Name)
+			}
+		}
+
+		// Compute on non-negative event counts must produce finite,
+		// non-negative components that sum to Total. Negation of
+		// math.MinInt64 is still negative, so clamp after flipping.
+		abs := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 {
+				v = 0
+			}
+			return v
+		}
+		cycles, instrs, dramAccesses = abs(cycles), abs(instrs), abs(dramAccesses)
+		ev := ChipEvents{
+			Cycles: cycles, Instrs: instrs,
+			ALUOps: instrs / 2, MemOps: instrs / 8,
+			L1Accesses: instrs / 8, L2Accesses: instrs / 16,
+			DRAMAccesses: dramAccesses, DRAMActivates: dramAccesses / 2,
+			SharedWideAccesses: instrs / 32,
+		}
+		m := NewChipModel(NewModel(memtech.MustConfig(1), false), c)
+		b := m.Compute(ev, regfile.Stats{MainReads: instrs, MainWrites: instrs / 2})
+
+		rv := reflect.ValueOf(b)
+		sum := b.RF.Total()
+		for i := 0; i < rv.NumField(); i++ {
+			if rv.Field(i).Kind() != reflect.Float64 {
+				continue
+			}
+			v := rv.Field(i).Float()
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("energy term %s = %v from a validated config", rv.Type().Field(i).Name, v)
+			}
+			sum += v
+		}
+		total := b.Total()
+		if math.IsNaN(total) || total < 0 {
+			t.Fatalf("Total = %v from a validated config", total)
+		}
+		if !math.IsInf(total, 0) && math.Abs(total-sum) > 1e-9*math.Max(1, math.Abs(sum)) {
+			t.Fatalf("Total %v != component sum %v", total, sum)
+		}
+	})
+}

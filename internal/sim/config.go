@@ -17,6 +17,7 @@ import (
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
+	"ltrf/internal/power"
 	"ltrf/internal/regfile"
 )
 
@@ -93,6 +94,13 @@ type Config struct {
 	SFULat int // special function unit latency
 
 	Mem memsys.HierarchyConfig
+
+	// Chip holds the chip-level energy constants Result.ChipEnergy scores
+	// runs with (L1/L2/DRAM/shared/SM-pipeline dynamic + leakage). The zero
+	// value selects power.DefaultChipConfig via Normalized; explicit fields
+	// re-calibrate one component at a time. Purely an accounting surface —
+	// it never affects timing.
+	Chip power.ChipConfig
 
 	MaxCycles int64 // hard stop
 	MaxInstrs int64 // dynamic instruction budget
@@ -238,6 +246,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxCycles < 1 || c.MaxInstrs < 1 {
 		return fmt.Errorf("sim: budgets must be positive")
+	}
+	if err := c.Chip.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
+	"ltrf/internal/power"
 	"ltrf/internal/regfile"
 )
 
@@ -15,6 +16,32 @@ type Result struct {
 	Kernel   string
 	Demand   int // unconstrained per-thread register demand
 	Capacity int // effective main RF capacity in KB
+}
+
+// RFEnergy computes the register-file-only energy breakdown of this run
+// through the design's registry energy hooks at the configuration's
+// technology point — the quantity Figure 10 and the RF-EDP columns score.
+func (r *Result) RFEnergy() (power.Breakdown, error) {
+	desc, err := r.Design.Descriptor()
+	if err != nil {
+		return power.Breakdown{}, err
+	}
+	return power.NewModelFor(desc, r.Config.Tech).Compute(r.Cycles, r.RF), nil
+}
+
+// ChipEnergy computes the chip-level energy breakdown of this run: the RF
+// breakdown plus L1/L2/DRAM/shared-memory/SM-pipeline components from the
+// simulator's event counters, under the configuration's Chip constants.
+// Chip EDP is never below RF EDP on the same run, so a design can only lose
+// ground here — the honest yardstick for designs that buy RF savings with
+// memory-system or pipeline cost.
+func (r *Result) ChipEnergy() (power.ChipBreakdown, error) {
+	desc, err := r.Design.Descriptor()
+	if err != nil {
+		return power.ChipBreakdown{}, err
+	}
+	m := power.NewChipModelFor(desc, r.Config.Tech, r.Config.Chip)
+	return m.Compute(r.Stats.ChipEvents(), r.RF), nil
 }
 
 // bytesPerWarpReg is the storage of one warp-register: 32 threads x 4 bytes.

@@ -4,8 +4,24 @@ import (
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
+	"ltrf/internal/power"
 	"ltrf/internal/regfile"
 )
+
+// MemStats carries the memory-system outcome of one simulation: the hit
+// rates the figures report plus the raw event counters the chip-level
+// energy model consumes, embedded straight from memsys so a counter added
+// to the hierarchy is automatically carried here (no field-by-field copy
+// to forget). The counts obey the hierarchy's conservation laws (every L1
+// miss is an L2 access, every L2 miss a DRAM burst, every DRAM row miss an
+// activate) — asserted by the chip-energy property suite.
+type MemStats struct {
+	L1HitRate  float64
+	L2HitRate  float64
+	DRAMRowHit float64
+
+	memsys.Events
+}
 
 // Stats is the outcome of one simulation.
 type Stats struct {
@@ -26,14 +42,16 @@ type Stats struct {
 	OperandReads int64
 	ResultWrites int64
 
+	// Retired-instruction class counters: every retired instruction lands in
+	// exactly one (ALUOps + SFUOps + MemOps + CtrlOps == Instrs), feeding the
+	// chip model's SM-pipeline energy terms.
+	ALUOps  int64
+	SFUOps  int64
+	MemOps  int64
+	CtrlOps int64 // control flow, barriers, and NOPs
+
 	RF  regfile.Stats // register subsystem counters (copied at end)
-	Mem struct {
-		L1HitRate    float64
-		L2HitRate    float64
-		DRAMRowHit   float64
-		GlobalLoads  int64
-		GlobalStores int64
-	}
+	Mem MemStats
 
 	Warps         int // resident warps the capacity allowed
 	RegsPerThread int // architectural registers per thread after allocation
@@ -42,6 +60,25 @@ type Stats struct {
 	Finished      bool
 
 	deactByPC map[int]int64 // diagnostic: deactivations per blocking PC
+}
+
+// ChipEvents bridges the simulator's counters to the chip-level energy
+// model: everything power.ChipModel.Compute needs beyond the register
+// subsystem's own Stats.
+func (s *Stats) ChipEvents() power.ChipEvents {
+	return power.ChipEvents{
+		Cycles:             s.Cycles,
+		Instrs:             s.Instrs,
+		ALUOps:             s.ALUOps,
+		SFUOps:             s.SFUOps,
+		MemOps:             s.MemOps,
+		L1Accesses:         s.Mem.L1Accesses,
+		L2Accesses:         s.Mem.L2Accesses,
+		DRAMAccesses:       s.Mem.DRAMAccesses,
+		DRAMActivates:      s.Mem.DRAMActivates,
+		SharedWideAccesses: s.Mem.SharedWideAccesses,
+		ConstAccesses:      s.Mem.ConstAccesses,
+	}
 }
 
 // SM is one streaming multiprocessor executing a kernel to completion.
@@ -123,11 +160,10 @@ func (sm *SM) finalize() Stats {
 		sm.st.IPC = float64(sm.instrs) / float64(sm.cycle)
 	}
 	sm.st.RF = *sm.rf.Stats()
+	sm.st.Mem.Events = sm.mem.Events()
 	sm.st.Mem.L1HitRate = sm.mem.L1D.Stats.HitRate()
 	sm.st.Mem.L2HitRate = sm.mem.L2.Stats.HitRate()
 	sm.st.Mem.DRAMRowHit = sm.mem.DRAM.RowHitRate()
-	sm.st.Mem.GlobalLoads = sm.mem.GlobalLoads
-	sm.st.Mem.GlobalStores = sm.mem.GlobalStores
 	sm.st.Finished = sm.allFinished()
 	if sm.part != nil {
 		sm.st.PrefetchUnits = sm.part.NumUnits()
@@ -254,6 +290,7 @@ func (sm *SM) issueCycle() {
 			w.advance(in)
 			w.retired++
 			sm.instrs++
+			sm.st.CtrlOps++
 			w.state = stateBarrier
 			sm.barrierCount++
 			removed++
@@ -406,10 +443,13 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 	var execDone int64
 	switch in.Op.Class() {
 	case isa.ClassALU:
+		sm.st.ALUOps++
 		execDone = opReady + int64(sm.cfg.ALULat)
 	case isa.ClassSFU:
+		sm.st.SFUOps++
 		execDone = opReady + int64(sm.cfg.SFULat)
 	case isa.ClassMem:
+		sm.st.MemOps++
 		iter := w.memIter[w.pc]
 		w.memIter[w.pc]++
 		done, _ := sm.mem.Access(opReady, in, w.ID, int64(iter))
@@ -419,6 +459,7 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 			execDone = done
 		}
 	default: // control, nop
+		sm.st.CtrlOps++
 		execDone = opReady + 1
 	}
 

@@ -37,6 +37,7 @@ import (
 	"ltrf/internal/exp"
 	"ltrf/internal/isa"
 	"ltrf/internal/memtech"
+	"ltrf/internal/power"
 	"ltrf/internal/regalloc"
 	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
@@ -126,6 +127,30 @@ func DesignCapacityX(design Design, techConfig int, kernel *Program) (float64, e
 // Tech returns the Table 2 register-file design point with 1-based index
 // 1..7 (configuration #1 is the SRAM baseline, #6 TFET, #7 DWM).
 func Tech(config int) (memtech.Params, error) { return memtech.Config(config) }
+
+// RFBreakdown decomposes register-file-only energy — the Figure 10 scope.
+type RFBreakdown = power.Breakdown
+
+// ChipBreakdown decomposes chip-level energy: the RF breakdown plus
+// dynamic + leakage terms for the L1/L2 caches, DRAM, the shared-memory
+// scratchpad, and the SM pipelines. Its EDP never falls below the RF-only
+// EDP on the same run.
+type ChipBreakdown = power.ChipBreakdown
+
+// ChipConfig is the chip-energy constant surface (per-event dynamic
+// energies, per-cycle leakage); the zero value selects the calibrated
+// defaults. Set SimOptions.Chip to re-calibrate components.
+type ChipConfig = power.ChipConfig
+
+// RFEnergy computes a simulation's register-file-only energy breakdown
+// through the design's registry energy hooks.
+func RFEnergy(res *SimResult) (RFBreakdown, error) { return res.RFEnergy() }
+
+// ChipEnergy computes a simulation's chip-level energy breakdown — the
+// honest yardstick for designs that buy RF savings with memory-system or
+// pipeline cost. The designsweep experiment ranks designs under both this
+// and the RF-only account.
+func ChipEnergy(res *SimResult) (ChipBreakdown, error) { return res.ChipEnergy() }
 
 // CompileOptions configure kernel compilation.
 type CompileOptions struct {
@@ -219,6 +244,10 @@ type SimOptions struct {
 	MaxWarps     int
 	// MaxInstrs bounds the simulation (default 200k dynamic instructions).
 	MaxInstrs int64
+	// Chip re-calibrates the chip-level energy account ChipEnergy scores
+	// results with (zero fields keep the defaults). Accounting only — it
+	// never changes timing.
+	Chip ChipConfig
 }
 
 // SimResult is a simulation outcome.
@@ -255,6 +284,7 @@ func (o SimOptions) config() (sim.Config, error) {
 		c.MaxInstrs = o.MaxInstrs
 		c.MaxCycles = o.MaxInstrs * 12
 	}
+	c.Chip = o.Chip
 	return c, nil
 }
 

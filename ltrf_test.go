@@ -174,3 +174,45 @@ func TestSimulateGPU(t *testing.T) {
 		t.Errorf("GPU result incomplete: %d SMs, IPC %v", len(res.PerSM), res.TotalIPC)
 	}
 }
+
+func TestChipEnergyPublicAPI(t *testing.T) {
+	kernel := buildDemoKernel(t)
+	res, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, TechConfig: 7, LatencyX: 6.3, MaxInstrs: 6000}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ltrf.RFEnergy(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := ltrf.ChipEnergy(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Total() <= 0 || chip.Total() <= 0 {
+		t.Fatalf("energy totals must be positive: RF %v, chip %v", rf.Total(), chip.Total())
+	}
+	if chip.EDP(res.Cycles) < rf.EDP(res.Cycles) {
+		t.Errorf("chip EDP %v < RF EDP %v", chip.EDP(res.Cycles), rf.EDP(res.Cycles))
+	}
+
+	// A SimOptions.Chip override re-prices the matching component without
+	// touching timing.
+	boosted, err := ltrf.Simulate(ltrf.SimOptions{
+		Design: ltrf.LTRF, TechConfig: 7, LatencyX: 6.3, MaxInstrs: 6000,
+		Chip: ltrf.ChipConfig{DRAMAccessEnergy: 1000},
+	}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Cycles != res.Cycles {
+		t.Fatalf("chip-energy option changed timing: %d vs %d cycles", boosted.Cycles, res.Cycles)
+	}
+	bchip, err := ltrf.ChipEnergy(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bchip.DRAMDynamic <= chip.DRAMDynamic {
+		t.Errorf("DRAM energy override had no effect: %v vs %v", bchip.DRAMDynamic, chip.DRAMDynamic)
+	}
+}
