@@ -155,7 +155,29 @@ func BenchmarkCompile(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed in dynamic
 // instructions per second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	w, err := ltrf.WorkloadByName("hotspot")
+	benchThroughput(b, ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2, MaxInstrs: 30000}, "hotspot")
+}
+
+// BenchmarkSimulatorThroughputHighLatency measures the regime the
+// event-driven clock targets: a non-prefetching register file at the DWM
+// design point (Table 2 config #7) with a 6.3x latency multiplier, where
+// warps stall for hundreds of cycles on every slow main-RF read and most
+// simulated cycles are dead. PR 5's fast-forward core is >=3x faster here
+// than the cycle-ticking loop it replaced (see BENCH_PR5.json).
+func BenchmarkSimulatorThroughputHighLatency(b *testing.B) {
+	benchThroughput(b, ltrf.SimOptions{Design: ltrf.BL, TechConfig: 7, LatencyX: 6.3, MaxInstrs: 30000}, "sgemm")
+}
+
+// BenchmarkSimulatorThroughputCycleAccurate is the same high-latency point
+// under SimOptions.ForceCycleAccurate — the escape hatch's cost, and a
+// standing measurement of what the fast-forward clock buys.
+func BenchmarkSimulatorThroughputCycleAccurate(b *testing.B) {
+	benchThroughput(b, ltrf.SimOptions{Design: ltrf.BL, TechConfig: 7, LatencyX: 6.3, MaxInstrs: 30000, ForceCycleAccurate: true}, "sgemm")
+}
+
+func benchThroughput(b *testing.B, o ltrf.SimOptions, workload string) {
+	b.Helper()
+	w, err := ltrf.WorkloadByName(workload)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -163,7 +185,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	var instrs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2, MaxInstrs: 30000}, kernel)
+		res, err := ltrf.Simulate(o, kernel)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -24,28 +24,75 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ltrf"
 )
 
+// main delegates to realMain so deferred cleanup — notably flushing the
+// pprof profiles — runs on EVERY exit path, including errors: os.Exit
+// skips defers, so it must only happen out here, after realMain's defers
+// have finished.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		run      = flag.String("run", "", "run one experiment by id (e.g. figure9)")
-		expFlag  = flag.String("exp", "", "alias for -run")
-		all      = flag.Bool("all", false, "run every experiment")
-		quick    = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		subset   = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
-		designs  = flag.String("design", "", "comma-separated design subset for registry-driven experiments like designspace (default: every registered design)")
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "run one experiment by id (e.g. figure9)")
+		expFlag    = flag.String("exp", "", "alias for -run")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced instruction budgets (faster, noisier)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		subset     = flag.String("workloads", "", "comma-separated workload subset for simulation experiments")
+		designs    = flag.String("design", "", "comma-separated design subset for registry-driven experiments like designspace (default: every registered design)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	)
 	flag.Parse()
 
+	// Profiling hooks so perf work on the simulator and the experiment
+	// engine can attach pprof evidence without patching the binary:
+	//
+	//	ltrf-experiments -all -quick -cpuprofile cpu.out -memprofile mem.out
+	//	go tool pprof cpu.out
+	//
+	// A failing run still yields valid (partial) profiles — often the
+	// interesting case when debugging a hang or a slow error path.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			}
+		}()
+	}
+
 	if *run != "" && *expFlag != "" && *run != *expFlag {
 		fmt.Fprintln(os.Stderr, "ltrf-experiments: -run and -exp name different experiments; pass only one")
-		os.Exit(2)
+		return 2
 	}
 	if *run == "" {
 		*run = *expFlag
@@ -68,7 +115,7 @@ func main() {
 		t, err := ltrf.RunExperiment(*run, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		t.Fprint(os.Stdout)
 		fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
@@ -76,11 +123,12 @@ func main() {
 		start := time.Now()
 		if err := ltrf.RunAllExperiments(os.Stdout, o); err != nil {
 			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("(total %s)\n", time.Since(start).Round(time.Millisecond))
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

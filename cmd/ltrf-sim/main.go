@@ -40,6 +40,7 @@ func main() {
 		warps    = flag.Int("active", 0, "active warps (0 = Table 3 default of 8)")
 		n        = flag.Int("n", 0, "registers per register-interval (0 = default 16)")
 		instrs   = flag.Int64("instrs", 0, "dynamic instruction budget (0 = default)")
+		cycleAcc = flag.Bool("cycle-accurate", false, "tick one cycle per pass instead of the event-driven fast-forward (identical results, slower; for debugging/measurement)")
 		list     = flag.Bool("list", false, "list workloads")
 	)
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 	res, err := ltrf.Simulate(ltrf.SimOptions{
 		Design: d, TechConfig: *tech, LatencyX: *latency,
 		ActiveWarps: *warps, IntervalRegs: *n, MaxInstrs: *instrs,
+		ForceCycleAccurate: *cycleAcc,
 	}, w.Build(3))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)

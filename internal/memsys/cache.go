@@ -4,7 +4,10 @@
 // memory-access coalescer.
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // CacheConfig describes a set-associative cache.
 type CacheConfig struct {
@@ -30,20 +33,69 @@ func (s CacheStats) HitRate() float64 {
 }
 
 type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint64 // last access stamp
+	tag uint64
+	lru uint64 // last access stamp
+	gen uint64 // line is valid iff gen matches the cache's generation
+}
+
+// lineBuf is a recyclable line array plus its ever-increasing generation
+// counter. Validity-by-generation lets NewCache hand a recycled array back
+// without zeroing it: bumping the generation invalidates every stale line
+// at once (their gen can never match again — the counter only grows), so
+// the stale tags and LRU stamps left over from a previous simulation are
+// unreachable garbage, not state. Short-lived simulations — a quick
+// experiment sweep builds thousands — otherwise spend double-digit
+// percentages of wall clock allocating and zeroing the 2MB LLC's line
+// array alone.
+type lineBuf struct {
+	lines []cacheLine
+	gen   uint64
+}
+
+// linePools recycles line arrays across caches, one pool per exact array
+// length (sync.Map of int -> *sync.Pool). Size-classing matters: a single
+// mixed pool would let a small L1 request consume the 2MB L2 array and
+// leave the next L2 request allocating afresh — exactly the allocation
+// the pool exists to avoid. A process uses only a handful of geometries,
+// so the map stays tiny. Entries are returned by Cache.Release (the
+// simulation runners call it when a run completes).
+var linePools sync.Map
+
+func getLineBuf(n int) *lineBuf {
+	p, _ := linePools.LoadOrStore(n, &sync.Pool{})
+	if b, _ := p.(*sync.Pool).Get().(*lineBuf); b != nil {
+		b.gen++
+		return b
+	}
+	// A fresh array's lines carry gen 0; starting at gen 1 keeps them
+	// invalid without initialization.
+	return &lineBuf{lines: make([]cacheLine, n), gen: 1}
+}
+
+func putLineBuf(b *lineBuf) {
+	p, _ := linePools.LoadOrStore(len(b.lines), &sync.Pool{})
+	p.(*sync.Pool).Put(b)
 }
 
 // Cache is a set-associative, LRU, write-through/no-write-allocate cache
-// (the typical GPU L1 policy; stores do not allocate).
+// (the typical GPU L1 policy; stores do not allocate). Lines are stored in
+// one contiguous set-major array — a set's ways share cache lines of the
+// HOST machine and cost no pointer chase — and set selection uses a mask
+// (and the tag a shift) when the set count is a power of two, which every
+// realistic geometry is; both make Access, the single hottest function of
+// memory-bound simulations, cheap enough to call per 128B transaction.
 type Cache struct {
-	cfg   CacheConfig
-	sets  [][]cacheLine
-	nsets int
-	shift uint // line offset bits
-	stamp uint64
-	Stats CacheStats
+	cfg      CacheConfig
+	lines    []cacheLine // nsets x ways, set-major
+	buf      *lineBuf    // owning wrapper, recyclable via Release
+	gen      uint64      // current validity generation
+	nsets    int
+	ways     int
+	shift    uint   // line offset bits
+	setMask  uint64 // nsets-1 when nsets is a power of two, else 0
+	setShift uint   // log2(nsets) when a power of two
+	stamp    uint64
+	Stats    CacheStats
 }
 
 // NewCache builds a cache; size must be divisible by ways*line.
@@ -62,12 +114,29 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if 1<<shift != cfg.LineB {
 		return nil, fmt.Errorf("memsys: %s: line size %d not a power of two", cfg.Name, cfg.LineB)
 	}
-	c := &Cache{cfg: cfg, nsets: nsets, shift: shift}
-	c.sets = make([][]cacheLine, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, cfg.Ways)
+	c := &Cache{cfg: cfg, nsets: nsets, ways: cfg.Ways, shift: shift}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = uint64(nsets - 1)
+		for s := nsets; s > 1; s >>= 1 {
+			c.setShift++
+		}
 	}
+	c.buf = getLineBuf(nsets * cfg.Ways)
+	c.gen = c.buf.gen
+	c.lines = c.buf.lines
 	return c, nil
+}
+
+// Release returns the cache's line storage to the recycling pool for a
+// future NewCache. The cache must not be accessed afterwards; callers that
+// share a cache between views (a multi-SM L2) release it exactly once.
+func (c *Cache) Release() {
+	if c.buf == nil {
+		return
+	}
+	putLineBuf(c.buf)
+	c.buf = nil
+	c.lines = nil
 }
 
 // MustNewCache panics on config error (for statically valid configs).
@@ -85,12 +154,19 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stamp++
 	c.Stats.Accesses++
 	lineAddr := addr >> c.shift
-	set := int(lineAddr % uint64(c.nsets))
-	tag := lineAddr / uint64(c.nsets)
+	var set int
+	var tag uint64
+	if c.setMask != 0 {
+		set = int(lineAddr & c.setMask)
+		tag = lineAddr >> c.setShift
+	} else {
+		set = int(lineAddr % uint64(c.nsets))
+		tag = lineAddr / uint64(c.nsets)
+	}
 
-	lines := c.sets[set]
+	lines := c.lines[set*c.ways : (set+1)*c.ways]
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].gen == c.gen && lines[i].tag == tag {
 			lines[i].lru = c.stamp
 			c.Stats.Hits++
 			return true
@@ -100,7 +176,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	if !write {
 		victim := 0
 		for i := range lines {
-			if !lines[i].valid {
+			if lines[i].gen != c.gen {
 				victim = i
 				break
 			}
@@ -108,18 +184,16 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 				victim = i
 			}
 		}
-		lines[victim] = cacheLine{tag: tag, valid: true, lru: c.stamp}
+		lines[victim] = cacheLine{tag: tag, gen: c.gen, lru: c.stamp}
 	}
 	return false
 }
 
-// Flush invalidates all lines (between kernel launches).
+// Flush invalidates all lines (between kernel launches). O(1): it bumps
+// the validity generation past every line.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = cacheLine{}
-		}
-	}
+	c.buf.gen++
+	c.gen = c.buf.gen
 }
 
 // Config returns the cache configuration.

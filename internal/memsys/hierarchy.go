@@ -58,6 +58,10 @@ type Hierarchy struct {
 	// treated as long-latency by the two-level scheduler (an L1 miss).
 	LongLatencyThreshold int64
 
+	// ownsL2 records whether this view created its L2 (NewHierarchy) or
+	// shares one (NewShared) — Release must return shared storage once.
+	ownsL2 bool
+
 	GlobalLoads   int64
 	GlobalStores  int64
 	ConstAccesses int64 // constant-cache accesses (fixed latency; priced by ChipConfig.ConstAccessEnergy)
@@ -92,6 +96,25 @@ type Events struct {
 	ConstAccesses int64
 }
 
+// AddPrivate accumulates o's SM-PRIVATE counters — L1, the shared-memory
+// scratchpad, and the global/constant access counts — into e, leaving the
+// chip-shared L2/DRAM counters untouched. Multi-SM accounting uses it to
+// build a chip-level view in which shared structures are attributed once:
+// each SM's Events carries chip-wide L2/DRAM counts (those structures are
+// shared objects under NewShared), so summing whole Events values across
+// SMs would double-count every shared access and activate.
+func (e *Events) AddPrivate(o Events) {
+	e.L1Accesses += o.L1Accesses
+	e.L1Hits += o.L1Hits
+	e.L1Misses += o.L1Misses
+	e.SharedAccesses += o.SharedAccesses
+	e.SharedWideAccesses += o.SharedWideAccesses
+	e.SharedConflicts += o.SharedConflicts
+	e.GlobalLoads += o.GlobalLoads
+	e.GlobalStores += o.GlobalStores
+	e.ConstAccesses += o.ConstAccesses
+}
+
 // Events returns the aggregate event counters of this hierarchy view.
 func (h *Hierarchy) Events() Events {
 	return Events{
@@ -121,9 +144,21 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L2:     MustNewCache(cfg.L2),
 		DRAM:   NewDRAM(cfg.DRAM),
 		Shared: NewSharedMem(cfg.Shared.Normalized(cfg.SharedCycles)),
+		ownsL2: true,
 	}
 	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
 	return h
+}
+
+// Release recycles the storage of the caches this view owns (its private
+// L1, plus the L2 when it was created by NewHierarchy rather than shared
+// in by NewShared). Simulation runners call it once the run's statistics
+// have been captured; the hierarchy must not be accessed afterwards.
+func (h *Hierarchy) Release() {
+	h.L1D.Release()
+	if h.ownsL2 {
+		h.L2.Release()
+	}
 }
 
 // NewShared builds an SM-private view sharing the given L2 and DRAM.

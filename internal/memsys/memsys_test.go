@@ -297,3 +297,93 @@ func TestHierarchyEventsReconcile(t *testing.T) {
 		t.Errorf("global loads/stores = %d/%d, want 200/200", ev.GlobalLoads, ev.GlobalStores)
 	}
 }
+
+// TestCacheReleaseReuseDeterministic pins the storage-recycling contract:
+// a cache built from a recycled line array behaves exactly like one built
+// fresh — the generation bump makes every stale line unreachable, so no
+// access can hit leftover tags from a previous simulation.
+func TestCacheReleaseReuseDeterministic(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeB: 4 << 10, LineB: 128, Ways: 4}
+	trace := func(c *Cache, seed uint64) []bool {
+		var out []bool
+		addr := seed
+		for i := 0; i < 500; i++ {
+			addr = addr*0x9E3779B97F4A7C15 + 1
+			out = append(out, c.Access(addr%(64<<10), i%7 == 0))
+		}
+		return out
+	}
+
+	fresh := MustNewCache(cfg)
+	want := trace(fresh, 42)
+
+	// Dirty a cache with a DIFFERENT access stream, release it, and build
+	// again: the pool hands the dirty array back, and the replay must be
+	// identical to the fresh run.
+	dirty := MustNewCache(cfg)
+	trace(dirty, 777)
+	dirty.Release()
+	reused := MustNewCache(cfg)
+	got := trace(reused, 42)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d: reused cache hit=%v, fresh cache hit=%v — stale lines leaked through the generation bump", i, got[i], want[i])
+		}
+	}
+	if reused.Stats != fresh.Stats {
+		t.Fatalf("reused cache stats %+v != fresh %+v", reused.Stats, fresh.Stats)
+	}
+
+	// Release is idempotent and leaves the cache inert.
+	reused.Release()
+	reused.Release()
+}
+
+// TestCacheFlushInvalidatesAll pins the O(1) generation-bump Flush.
+func TestCacheFlushInvalidatesAll(t *testing.T) {
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 1 << 10, LineB: 128, Ways: 2})
+	if c.Access(0, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("warm access missed")
+	}
+	c.Flush()
+	if c.Access(0, false) {
+		t.Fatal("access after Flush hit — stale line survived the generation bump")
+	}
+}
+
+// TestCacheNonPowerOfTwoSets covers the modulo fallback for geometries
+// whose set count is not a power of two.
+func TestCacheNonPowerOfTwoSets(t *testing.T) {
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 3 * 128 * 2, LineB: 128, Ways: 2}) // 3 sets
+	if c.Access(128*3, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(128*3, false) {
+		t.Fatal("warm access missed")
+	}
+	// A different tag mapping to the same set must not alias.
+	if c.Access(128*6, false) {
+		t.Fatal("distinct line aliased to an existing tag")
+	}
+}
+
+// TestEventsAddPrivate pins the multi-SM aggregation rule: private
+// counters accumulate, shared (L2/DRAM) counters are left untouched.
+func TestEventsAddPrivate(t *testing.T) {
+	a := Events{L1Accesses: 10, L1Hits: 6, L1Misses: 4, L2Accesses: 100, DRAMAccesses: 50,
+		DRAMActivates: 7, SharedAccesses: 3, SharedWideAccesses: 2, SharedConflicts: 1,
+		GlobalLoads: 5, GlobalStores: 4, ConstAccesses: 9}
+	b := Events{L1Accesses: 1, L1Hits: 1, L2Accesses: 100, DRAMAccesses: 50, DRAMActivates: 7,
+		SharedAccesses: 30, SharedWideAccesses: 20, SharedConflicts: 10,
+		GlobalLoads: 50, GlobalStores: 40, ConstAccesses: 90}
+	a.AddPrivate(b)
+	want := Events{L1Accesses: 11, L1Hits: 7, L1Misses: 4, L2Accesses: 100, DRAMAccesses: 50,
+		DRAMActivates: 7, SharedAccesses: 33, SharedWideAccesses: 22, SharedConflicts: 11,
+		GlobalLoads: 55, GlobalStores: 44, ConstAccesses: 99}
+	if a != want {
+		t.Fatalf("AddPrivate: got %+v, want %+v", a, want)
+	}
+}

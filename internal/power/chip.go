@@ -196,6 +196,14 @@ type ChipEvents struct {
 	Cycles int64
 	Instrs int64 // retired instructions (issue/decode energy)
 
+	// SMInstances is how many SM instances the per-SM leakage terms (L1,
+	// shared-memory scratchpad, SM pipeline) should be charged for. Those
+	// structures are private per SM, so a chip-level account of an N-SM run
+	// leaks N of each per cycle, while the shared L2/DRAM background terms
+	// stay single-instance. 0 (the zero value) means 1 — single-SM views
+	// (sim.Stats.ChipEvents) leave it unset and are unaffected.
+	SMInstances int64
+
 	ALUOps int64
 	SFUOps int64
 	MemOps int64 // memory instructions issued (AGU/coalescer control)
@@ -294,24 +302,31 @@ func NewChipModelFor(d regfile.Descriptor, main memtech.Params, chip ChipConfig)
 func (m ChipModel) Compute(ev ChipEvents, rf regfile.Stats) ChipBreakdown {
 	c := m.Chip.Normalized()
 	cycles := float64(ev.Cycles)
+	// Per-SM structures leak once per instance; shared structures (L2,
+	// DRAM background) once per chip regardless of SM count.
+	instances := float64(ev.SMInstances)
+	if instances < 1 {
+		instances = 1
+	}
+	perSMCycles := cycles * instances
 
 	return ChipBreakdown{
 		RF: m.RF.Compute(ev.Cycles, rf),
 
 		L1Dynamic: float64(ev.L1Accesses) * c.L1AccessEnergy,
-		L1Leakage: cycles * c.L1LeakPerCycle,
+		L1Leakage: perSMCycles * c.L1LeakPerCycle,
 		L2Dynamic: float64(ev.L2Accesses) * c.L2AccessEnergy,
 		L2Leakage: cycles * c.L2LeakPerCycle,
 		DRAMDynamic: float64(ev.DRAMAccesses)*c.DRAMAccessEnergy +
 			float64(ev.DRAMActivates)*c.DRAMActivateEnergy,
 		DRAMStatic:    cycles * c.DRAMStaticPerCycle,
 		SharedDynamic: float64(ev.SharedWideAccesses) * c.SharedWideAccessEnergy,
-		SharedLeakage: cycles * c.SharedLeakPerCycle,
+		SharedLeakage: perSMCycles * c.SharedLeakPerCycle,
 		ConstDynamic:  float64(ev.ConstAccesses) * c.ConstAccessEnergy,
 		SMDynamic: float64(ev.Instrs)*c.IssueEnergy +
 			float64(ev.ALUOps)*c.ALUOpEnergy +
 			float64(ev.SFUOps)*c.SFUOpEnergy +
 			float64(ev.MemOps)*c.MemOpEnergy,
-		SMLeakage: cycles * c.SMLeakPerCycle,
+		SMLeakage: perSMCycles * c.SMLeakPerCycle,
 	}
 }

@@ -89,6 +89,60 @@ func TestIssueCycleSteadyStateAllocationFree(t *testing.T) {
 	}
 }
 
+// TestFastForwardSteppingAllocationFree guards the event-driven run loop:
+// steady-state passes, idle detection, next-event computation, and clock
+// jumps must not allocate — on a memory-heavy kernel whose deactivations
+// and wakeups exercise the wakeQueue heaps continuously.
+func TestFastForwardSteppingAllocationFree(t *testing.T) {
+	c := DefaultConfig(DesignLTRF)
+	c.MaxInstrs = 1 << 30
+	c.MaxCycles = 1 << 40
+	sm := buildTestSM(t, c, streamKernel(12, 1_000_000))
+	for i := 0; i < 2000; i++ {
+		if !sm.step() {
+			t.Fatal("kernel finished during warmup; enlarge the loop")
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if !sm.runnable() {
+			t.Fatal("kernel finished mid-measurement; enlarge the loop")
+		}
+		idle := sm.pass()
+		next := sm.cycle + 1
+		if idle {
+			next = sm.nextEventCycle()
+		}
+		sm.advanceTo(next, idle)
+	})
+	if allocs != 0 {
+		t.Errorf("fast-forward stepping allocates %.2f times per pass, want 0", allocs)
+	}
+}
+
+// TestWakeQueueAllocationFree guards the heap-backed inactive pool: pushes,
+// drains, FIFO-stable ready picks, and eager picks must stay within the
+// preallocated arrays at any fill level.
+func TestWakeQueueAllocationFree(t *testing.T) {
+	var q wakeQueue
+	q.init(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			q.push(i, int64(100+(i*37)%50))
+		}
+		// Drain half as ready picks, the rest as eager picks.
+		for i := 0; i < 32; i++ {
+			if q.pick(125) == -1 {
+				t.Fatal("queue empty too early")
+			}
+		}
+		for q.pick(0) != -1 {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("wakeQueue operations allocate %.2f times per cycle, want 0", allocs)
+	}
+}
+
 // TestFinishedCounterMatchesScan cross-checks the O(1) finished counter
 // against a direct state scan over the whole life of a kernel.
 func TestFinishedCounterMatchesScan(t *testing.T) {

@@ -1,0 +1,60 @@
+package sim
+
+import "ltrf/internal/isa"
+
+// instrMeta is the issue loop's per-instruction digest: every opcode-table
+// query and source-slot walk the hot path makes (arity, validity filtering,
+// destination presence, execution class, load/store-ness, dead-operand
+// bits), precomputed once per SM so each retired instruction costs one
+// sequential metadata load instead of three walks over the Src slots and
+// half a dozen opcode-table lookups. Purely a cache of immutable program
+// facts — it cannot change behavior.
+type instrMeta struct {
+	srcs [3]isa.Reg // the VALID sources, compacted, in operand order
+	dst  isa.Reg
+	// slot indexes the warp's per-instruction counter array (memory-
+	// instruction iteration counts and counted-branch trip counts — the
+	// only instructions that keep per-warp dynamic state). Slots are
+	// assigned densely, so each warp carries one small counter array
+	// instead of two program-length ones.
+	slot int32
+	dead [3]bool // DeadAfter of the compacted sources
+	nsrc uint8
+	// writes is Op.WritesDst() && Dst.Valid() — the result write-back and
+	// WAW scoreboard condition.
+	writes  bool
+	class   isa.Class
+	isLoad  bool
+	isStore bool
+}
+
+// buildInstrMeta digests a program, returning the metadata table and the
+// number of per-warp counter slots it assigned. O(program length); newSM
+// calls it per SM, which is noise next to the warp-context setup.
+func buildInstrMeta(prog *isa.Program) ([]instrMeta, int) {
+	meta := make([]instrMeta, len(prog.Instrs))
+	slots := 0
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		m := &meta[i]
+		n := in.Op.NumSrcSlots()
+		for s := 0; s < n; s++ {
+			if r := in.Src[s]; r.Valid() {
+				m.srcs[m.nsrc] = r
+				m.dead[m.nsrc] = in.DeadAfter[s]
+				m.nsrc++
+			}
+		}
+		m.dst = in.Dst
+		m.writes = in.Op.WritesDst() && in.Dst.Valid()
+		m.class = in.Op.Class()
+		m.isLoad = in.Op.IsLoad()
+		m.isStore = in.Op.IsStore()
+		m.slot = -1
+		if m.class == isa.ClassMem || (in.Op == isa.OpBraCond && in.Trip > 0) {
+			m.slot = int32(slots)
+			slots++
+		}
+	}
+	return meta, slots
+}

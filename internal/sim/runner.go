@@ -180,6 +180,10 @@ func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, er
 	st.Warps = warps
 	st.RegsPerThread = info.Prog.RegCount()
 	st.SpilledRegs = info.Spills
+	// finalize (inside run) has copied every memory-system statistic into
+	// st, so the hierarchy's cache storage can be recycled for the next
+	// simulation.
+	mem.Release()
 
 	return &Result{
 		Stats:    st,

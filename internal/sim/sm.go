@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
@@ -28,6 +30,14 @@ type Stats struct {
 	Cycles int64
 	Instrs int64 // dynamic instructions retired (PREFETCH pseudo-ops excluded)
 	IPC    float64
+
+	// IdleCycles counts cycles in which the SM did nothing at all: no warp
+	// issued, activated, deactivated, or entered a prefetch stall — the dead
+	// spans the event-driven clock fast-forwards across. It accumulates
+	// identically under fast-forward and Config.ForceCycleAccurate (the
+	// equivalence property asserts it), and Cycles always includes it, so
+	// per-cycle quantities (IPC, chip leakage) are mode-independent.
+	IdleCycles int64
 
 	Activations         int64 // warp activations (two-level scheduler)
 	Deactivations       int64
@@ -85,13 +95,14 @@ func (s *Stats) ChipEvents() power.ChipEvents {
 type SM struct {
 	cfg  *Config
 	prog *isa.Program
+	meta []instrMeta     // per-instruction issue-loop digest (see meta.go)
 	part *core.Partition // nil unless the design needs prefetch units
 	rf   regfile.Subsystem
 	mem  *memsys.Hierarchy
 
 	warps     []*Warp
-	active    []int // warp IDs in the active scheduling set
-	inactive  []int // FIFO of inactive warp IDs
+	active    []int     // warp IDs in the active scheduling set
+	wake      wakeQueue // inactive pool, indexed by wakeup time + FIFO order
 	activeCap int
 	finished  int // warps in stateFinished (avoids an O(warps) scan per cycle)
 
@@ -99,13 +110,22 @@ type SM struct {
 	instrs int64
 	rr     int
 
+	// nextWake is the earliest future cycle at which any currently-blocked
+	// active warp can make progress, maintained by issueCycle as it scans
+	// (readyAt stalls, scoreboard arrival times, collector frees). After an
+	// idle pass it is exact — nothing can happen before it — and becomes the
+	// event-driven clock's jump target (nextEventCycle).
+	nextWake int64
+	// collMin memoizes nextCollectorFree for one pass (0 = not computed;
+	// the true minimum is always a future cycle > 0 when it is needed).
+	collMin int64
+
 	// collectors[i] is the cycle collector unit i frees up. An issuing
 	// instruction with register sources claims the first free collector
 	// and holds it until its operand reads complete.
 	collectors []int64
 
 	barrierCount int
-	srcBuf       []isa.Reg
 
 	st Stats
 }
@@ -114,8 +134,9 @@ type SM struct {
 // warpIDBase offsets global warp identities so that SMs of a multi-SM GPU
 // generate distinct memory address streams (grid-style work distribution).
 func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subsystem, mem *memsys.Hierarchy, nWarps, activeCap, warpIDBase int) *SM {
+	meta, slots := buildInstrMeta(prog)
 	sm := &SM{
-		cfg: cfg, prog: prog, part: part, rf: rf, mem: mem,
+		cfg: cfg, prog: prog, meta: meta, part: part, rf: rf, mem: mem,
 		activeCap:  activeCap,
 		collectors: make([]int64, cfg.Collectors),
 	}
@@ -123,33 +144,123 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 	if nregs == 0 {
 		nregs = 1
 	}
+	sm.wake.init(nWarps)
+	// Contiguous warp contexts and pooled scoreboard arrays: the issue scan
+	// dereferences warp state every pass, and quick experiment sweeps build
+	// thousands of short-lived SMs, so both locality and allocation count
+	// matter here. The dynamic-counter arrays are slot-compacted (one entry
+	// per memory instruction or counted branch, not per instruction).
+	warpBuf := make([]Warp, nWarps)
+	regReadyBuf := make([]int64, nWarps*nregs)
+	loadDestBuf := make([]bool, nWarps*nregs)
+	countBuf := make([]int32, nWarps*slots)
+	sm.warps = make([]*Warp, nWarps)
 	for i := 0; i < nWarps; i++ {
-		w := newWarp(warpIDBase+i, len(prog.Instrs), nregs, cfg.RegsPerInterval, cfg.Seed+uint64(warpIDBase+i))
+		w := &warpBuf[i]
+		initWarp(w, warpIDBase+i,
+			regReadyBuf[i*nregs:(i+1)*nregs],
+			loadDestBuf[i*nregs:(i+1)*nregs],
+			countBuf[i*slots:(i+1)*slots],
+			cfg.RegsPerInterval, cfg.Seed+uint64(warpIDBase+i))
 		w.local = i
-		sm.warps = append(sm.warps, w)
-		sm.inactive = append(sm.inactive, i)
+		sm.warps[i] = w
+		sm.wake.push(i, 0)
 	}
 	return sm
 }
 
 // run executes the kernel until all warps finish or a budget is exhausted.
+// The clock is event-driven: whenever an issue pass turns out idle, the SM
+// jumps straight to the next cycle at which anything can change instead of
+// ticking through the dead span one cycle at a time — with observably
+// identical results (see pass/nextEventCycle/advanceTo for why, and the
+// equivalence property suite for proof). Config.ForceCycleAccurate pins the
+// historical one-cycle-per-pass clock.
 func (sm *SM) run() Stats {
-	for sm.step() {
+	fastForward := !sm.cfg.ForceCycleAccurate
+	for sm.runnable() {
+		idle := sm.pass()
+		next := sm.cycle + 1
+		if idle && fastForward {
+			next = sm.nextEventCycle()
+		}
+		sm.advanceTo(next, idle)
 	}
 	return sm.finalize()
 }
 
+// runnable reports whether the SM can still make progress: budgets not
+// exhausted and at least one warp unfinished.
+func (sm *SM) runnable() bool {
+	return sm.cycle < sm.cfg.MaxCycles && sm.instrs < sm.cfg.MaxInstrs && !sm.allFinished()
+}
+
 // step advances the SM by one cycle, returning false when the kernel has
-// finished or a budget is exhausted. The GPU top level steps several SMs in
-// lockstep so shared L2/DRAM contention is interleaved correctly.
+// finished or a budget is exhausted — the cycle-accurate unit of progress
+// (ForceCycleAccurate's run loop, and the GPU top level's lockstep, which
+// interleaves several SMs' shared-L2/DRAM contention in time order).
 func (sm *SM) step() bool {
-	if sm.cycle >= sm.cfg.MaxCycles || sm.instrs >= sm.cfg.MaxInstrs || sm.allFinished() {
+	if !sm.runnable() {
 		return false
 	}
-	sm.refillActive()
-	sm.issueCycle()
-	sm.cycle++
+	sm.advanceTo(sm.cycle+1, sm.pass())
 	return true
+}
+
+// pass runs one issue pass (active-set refill + issue scan) at the current
+// cycle and reports whether it was idle: nothing issued, activated,
+// deactivated, or prefetch-stalled. State changes only through those four
+// actions, and on an idle pass each of them is monotone in the clock —
+// blocked warps' wakeup times are fixed, the deactivation predicate can
+// only relax (the gap to the threshold shrinks, the candidate pool is
+// untouched), refill saw either a full active set or an empty pool, barrier
+// releases are triggered by issues, and the memory system is purely
+// latency-based — so re-running the pass at any cycle before
+// nextEventCycle() is provably a no-op too. That is the invariant that
+// makes clock-jumping byte-identical.
+func (sm *SM) pass() (idle bool) {
+	acts, deacts, stalls := sm.st.Activations, sm.st.Deactivations, sm.st.PrefetchStallCycles
+	sm.refillActive()
+	issued := sm.issueCycle()
+	return issued == 0 && acts == sm.st.Activations &&
+		deacts == sm.st.Deactivations && stalls == sm.st.PrefetchStallCycles
+}
+
+// nextEventCycle returns the earliest future cycle at which an issue pass
+// can differ from the idle pass that just ran. It is derived from the
+// structures the pass already maintains in O(1) per warp: nextWake (the min
+// over blocked active warps' readyAt stalls, scoreboard arrival times, and
+// collector frees). Inactive warps contribute no time events — an idle
+// refill either saw a full active set (pooled warps wait for a slot to
+// free, which takes an issue-pass action, not a cycle) or an empty pool —
+// and barrier releases happen at issue time, so the active-warp minimum is
+// the whole event horizon. Clamped to MaxCycles so budget exhaustion fires
+// on exactly the historical cycle.
+func (sm *SM) nextEventCycle() int64 {
+	t := sm.nextWake
+	if t > sm.cfg.MaxCycles {
+		t = sm.cfg.MaxCycles
+	}
+	if t <= sm.cycle {
+		t = sm.cycle + 1
+	}
+	return t
+}
+
+// advanceTo moves the clock to cycle t. The (t - cycle - 1) skipped passes
+// are accounted exactly as if they had run: each would have been idle and
+// would have rotated the round-robin pointer by one (the greedy-then-oldest
+// arbitration's issued==0 path), so the rotation is applied arithmetically
+// and the whole idle span lands in Stats.IdleCycles.
+func (sm *SM) advanceTo(t int64, idle bool) {
+	if idle {
+		span := t - sm.cycle
+		sm.st.IdleCycles += span
+		if extra := span - 1; extra > 0 && len(sm.active) > 0 {
+			sm.rr = (sm.rr + int(extra%int64(len(sm.active)))) % len(sm.active)
+		}
+	}
+	sm.cycle = t
 }
 
 // finalize computes the result statistics.
@@ -181,38 +292,14 @@ func (sm *SM) allFinished() bool {
 // so that its register refetch (OnActivate) overlaps the remainder of its
 // memory wait — the activation-latency hiding §3.2 relies on ("inactive
 // warps still maintain live state in the main register file, and thus can
-// be quickly activated").
+// be quickly activated"). Both picks come from the wakeQueue in O(log
+// warps), in exactly the order the former linear scans produced.
 func (sm *SM) refillActive() {
 	for len(sm.active) < sm.activeCap {
-		picked := -1
-		for qi, wid := range sm.inactive {
-			w := sm.warps[wid]
-			if w.state != stateInactive || w.blockedUntil > sm.cycle {
-				continue
-			}
-			picked = qi
-			break
+		wid := sm.wake.pick(sm.cycle)
+		if wid == -1 {
+			return
 		}
-		if picked == -1 {
-			// No warp is ready: eagerly activate the one that will be
-			// ready soonest rather than leaving the slot idle.
-			var best int64
-			for qi, wid := range sm.inactive {
-				w := sm.warps[wid]
-				if w.state != stateInactive {
-					continue
-				}
-				if picked == -1 || w.blockedUntil < best {
-					picked = qi
-					best = w.blockedUntil
-				}
-			}
-			if picked == -1 {
-				return
-			}
-		}
-		wid := sm.inactive[picked]
-		sm.inactive = append(sm.inactive[:picked], sm.inactive[picked+1:]...)
 		w := sm.warps[wid]
 		w.state = stateActive
 		ready := sm.rf.OnActivate(sm.cycle, w.Regs)
@@ -225,28 +312,44 @@ func (sm *SM) refillActive() {
 }
 
 // issueCycle scans the active warps round-robin and issues up to IssueWidth
-// instructions. Warps blocked on a long-latency operand are descheduled
-// (two-level scheduling); warps at prefetch-unit boundaries execute their
-// PREFETCH instead of issuing.
-func (sm *SM) issueCycle() {
+// instructions, returning the issue count. Warps blocked on a long-latency
+// operand are descheduled (two-level scheduling); warps at prefetch-unit
+// boundaries execute their PREFETCH instead of issuing. Along the way it
+// maintains nextWake — the minimum over every blocked warp's wakeup time —
+// which costs a comparison per blocked warp here and saves the event-driven
+// clock a second scan.
+func (sm *SM) issueCycle() int {
+	sm.nextWake = int64(math.MaxInt64)
+	sm.collMin = 0
 	n := len(sm.active)
 	if n == 0 {
-		return
+		return 0
 	}
 	issued := 0
 	removed := 0 // active entries whose warp left stateActive this cycle
 
-	for k := 0; k < n && issued < sm.cfg.IssueWidth; k++ {
-		idx := (sm.rr + k) % n
+	// Hot loop: the wrapping index replaces a modulo per warp, and the
+	// hoisted clock/width save pointer dereferences per iteration — this
+	// scan runs once per pass over every active warp that cannot issue.
+	now := sm.cycle
+	width := sm.cfg.IssueWidth
+	idx := sm.rr % n
+	for k := 0; k < n && issued < width; k++ {
 		wid := sm.active[idx]
+		idx++
+		if idx == n {
+			idx = 0
+		}
 		w := sm.warps[wid]
 		if w.state != stateActive {
 			continue
 		}
-		if w.readyAt > sm.cycle {
+		if w.readyAt > now {
+			sm.wakeAt(w.readyAt)
 			continue
 		}
 		in := &sm.prog.Instrs[w.pc]
+		m := &sm.meta[w.pc]
 
 		// PREFETCH at unit boundary.
 		if sm.part != nil {
@@ -266,11 +369,30 @@ func (sm *SM) issueCycle() {
 		// is descheduled by the two-level scheduler — but only when some
 		// inactive warp could make use of the slot sooner, so eagerly
 		// activated warps are not bounced straight back (swap churn).
-		if ready, onLoad := w.operandsReadyAt(in, sm.cycle); ready > sm.cycle {
-			if sm.twoLevel() && onLoad && ready-sm.cycle >= sm.cfg.DeactivateThreshold &&
-				sm.hasEarlierCandidate(ready) {
-				sm.deactivate(w, ready)
-				removed++
+		if ready, onLoad := w.operandsReadyAt(m, sm.cycle); ready > sm.cycle {
+			if sm.twoLevel() && onLoad && ready-sm.cycle >= sm.cfg.DeactivateThreshold {
+				if sm.hasEarlierCandidate(ready) {
+					sm.deactivate(w, ready)
+					removed++
+				} else {
+					// Deactivation hinges on an earlier candidate appearing
+					// in the pool (another warp deactivating), so this warp
+					// must be re-examined every pass until its operands
+					// arrive.
+					sm.wakeAt(ready)
+				}
+			} else {
+				// The refusal is permanent: the gap to the deactivation
+				// threshold only shrinks as the clock advances, and a
+				// pending load dependency only clears — so the warp cannot
+				// issue OR deactivate before `ready`. Park it (readyAt is
+				// exactly the scoreboard arrival) so each blocking episode
+				// costs one scoreboard evaluation instead of one per pass.
+				// Scan outcomes are identical: a parked warp is skipped by
+				// the readyAt guard precisely on the passes that would have
+				// re-derived this same `ready` and skipped it anyway.
+				w.readyAt = ready
+				sm.wakeAt(ready)
 			}
 			continue
 		}
@@ -279,15 +401,25 @@ func (sm *SM) issueCycle() {
 		// free operand collector; the claimed index is handed to issueInstr
 		// so it is not searched for twice.
 		col := -1
-		if needsCollector(in) {
+		if m.nsrc > 0 {
 			if col = sm.freeCollector(); col == -1 {
+				// collMin caches the earliest collector-free time for the
+				// rest of the pass: several starved warps share one scan.
+				// Claims made later in the pass can lower the true minimum,
+				// but any claim makes the pass non-idle, and nextWake is
+				// only consumed after idle passes — so the cached value is
+				// exact whenever it is used.
+				if sm.collMin == 0 {
+					sm.collMin = sm.nextCollectorFree()
+				}
+				sm.wakeAt(sm.collMin)
 				continue
 			}
 		}
 
 		// Barrier.
 		if in.Op == isa.OpBar {
-			w.advance(in)
+			w.advance(in, m)
 			w.retired++
 			sm.instrs++
 			sm.st.CtrlOps++
@@ -299,7 +431,7 @@ func (sm *SM) issueCycle() {
 			continue
 		}
 
-		sm.issueInstr(w, in, col)
+		sm.issueInstr(w, in, m, col)
 		issued++
 		if w.state == stateFinished {
 			sm.finished++
@@ -324,6 +456,15 @@ func (sm *SM) issueCycle() {
 	} else {
 		sm.rr = sm.rr % len(sm.active)
 	}
+	return issued
+}
+
+// wakeAt records a future cycle at which a currently-blocked warp can make
+// progress; the minimum over one pass is the event-driven clock's horizon.
+func (sm *SM) wakeAt(t int64) {
+	if t < sm.nextWake {
+		sm.nextWake = t
+	}
 }
 
 // twoLevel reports whether the scheduler swaps blocked warps out.
@@ -342,33 +483,31 @@ func (sm *SM) freeCollector() int {
 	return -1
 }
 
-func needsCollector(in *isa.Instr) bool {
-	n := in.Op.NumSrcSlots()
-	for s := 0; s < n; s++ {
-		if in.Src[s].Valid() {
-			return true
+// nextCollectorFree returns the earliest cycle any operand collector frees
+// up; callers use it only after freeCollector failed, so every entry is in
+// the future.
+func (sm *SM) nextCollectorFree() int64 {
+	t := sm.collectors[0]
+	for _, busy := range sm.collectors[1:] {
+		if busy < t {
+			t = busy
 		}
 	}
-	return false
+	return t
 }
 
 // hasEarlierCandidate reports whether some inactive warp will be ready to
 // issue before `ready` — i.e. swapping the blocked warp out would buy time.
+// O(1) off the wakeQueue roots.
 func (sm *SM) hasEarlierCandidate(ready int64) bool {
-	for _, wid := range sm.inactive {
-		w := sm.warps[wid]
-		if w.state == stateInactive && w.blockedUntil < ready {
-			return true
-		}
-	}
-	return false
+	return sm.wake.earlier(ready)
 }
 
 func (sm *SM) deactivate(w *Warp, blockedUntil int64) {
 	w.state = stateInactive
 	w.blockedUntil = blockedUntil
 	sm.rf.OnDeactivate(sm.cycle, w.Regs)
-	sm.inactive = append(sm.inactive, w.local)
+	sm.wake.push(w.local, blockedUntil)
 	sm.st.Deactivations++
 	if sm.cfg.TrackDeactPCs {
 		if sm.st.deactByPC == nil {
@@ -409,7 +548,7 @@ func (sm *SM) maybeReleaseBarrier() {
 		if w.state == stateBarrier {
 			w.state = stateInactive
 			w.blockedUntil = sm.cycle + 1
-			sm.inactive = append(sm.inactive, w.local)
+			sm.wake.push(w.local, w.blockedUntil)
 		}
 	}
 	sm.barrierCount = 0
@@ -418,21 +557,14 @@ func (sm *SM) maybeReleaseBarrier() {
 
 // issueInstr models one instruction's timing: operand collection through the
 // register subsystem, execution or memory access, and result write-back.
-// col is the operand collector issueCycle already claimed for the
-// instruction (-1 when it has no register sources and needs none).
-func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
-	sm.srcBuf = sm.srcBuf[:0]
-	nsrc := in.Op.NumSrcSlots()
-	for s := 0; s < nsrc; s++ {
-		if r := in.Src[s]; r.Valid() {
-			sm.srcBuf = append(sm.srcBuf, r)
-		}
-	}
-
+// m is the instruction's precomputed metadata and col the operand collector
+// issueCycle already claimed for it (-1 when it has no register sources and
+// needs none).
+func (sm *SM) issueInstr(w *Warp, in *isa.Instr, m *instrMeta, col int) {
 	opReady := sm.cycle
-	if len(sm.srcBuf) > 0 {
-		sm.st.OperandReads += int64(len(sm.srcBuf))
-		opReady = sm.rf.ReadOperands(sm.cycle, w.Regs, sm.srcBuf)
+	if m.nsrc > 0 {
+		sm.st.OperandReads += int64(m.nsrc)
+		opReady = sm.rf.ReadOperands(sm.cycle, w.Regs, m.srcs[:m.nsrc])
 		// The instruction occupies the operand collector until all its
 		// operands have been gathered.
 		if col != -1 {
@@ -441,7 +573,7 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 	}
 
 	var execDone int64
-	switch in.Op.Class() {
+	switch m.class {
 	case isa.ClassALU:
 		sm.st.ALUOps++
 		execDone = opReady + int64(sm.cfg.ALULat)
@@ -450,10 +582,10 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 		execDone = opReady + int64(sm.cfg.SFULat)
 	case isa.ClassMem:
 		sm.st.MemOps++
-		iter := w.memIter[w.pc]
-		w.memIter[w.pc]++
+		iter := w.counts[m.slot]
+		w.counts[m.slot]++
 		done, _ := sm.mem.Access(opReady, in, w.ID, int64(iter))
-		if in.Op.IsStore() {
+		if m.isStore {
 			execDone = opReady + 1 // stores retire via the store queue
 		} else {
 			execDone = done
@@ -463,17 +595,17 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, col int) {
 		execDone = opReady + 1
 	}
 
-	if in.Op.WritesDst() && in.Dst.Valid() {
+	if m.writes {
 		// WriteResult charges resources at issue time (monotone) and
 		// returns the write latency added to the execution completion.
 		sm.st.ResultWrites++
-		writeLat := sm.rf.WriteResult(sm.cycle, w.Regs, in.Dst)
-		w.regReady[in.Dst] = execDone + writeLat
-		w.loadDest[in.Dst] = in.Op.IsLoad()
+		writeLat := sm.rf.WriteResult(sm.cycle, w.Regs, m.dst)
+		w.regReady[m.dst] = execDone + writeLat
+		w.loadDest[m.dst] = m.isLoad
 	}
 
-	w.updateLiveness(in)
-	w.advance(in)
+	w.updateLiveness(m)
+	w.advance(in, m)
 	w.retired++
 	sm.instrs++
 	w.readyAt = sm.cycle + 1

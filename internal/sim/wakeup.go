@@ -1,0 +1,176 @@
+package sim
+
+// The two-level scheduler's inactive pool. The pool used to be a plain FIFO
+// slice that refillActive rescanned twice per cycle (once for a ready warp,
+// once for the eagerly-activated minimum); with 64 resident warps and most
+// of them parked on long main-RF or DRAM latencies, those scans dominated
+// the per-cycle cost right after the issue loop. wakeQueue indexes the pool
+// so every scheduling decision is O(log warps) — while reproducing the
+// linear scans' pick order EXACTLY, which the byte-identical-results
+// contract of the event-driven core depends on.
+
+// wakeEntry is one pooled (inactive) warp: until is the cycle its blocking
+// operand arrives, seq its FIFO stamp (monotone insertion order — the order
+// the old slice's appends produced).
+type wakeEntry struct {
+	until int64
+	seq   int64
+	wid   int32
+}
+
+// wakeQueue holds the inactive pool as two min-heaps that partition it by
+// readiness: blocked (ordered by (until, seq)) holds warps whose blocking
+// operand has not arrived at the last drain cycle, ready (ordered by seq
+// alone) those whose operand has. The pick order matches the former scans:
+//
+//   - ready picks take the lowest seq among entries with until <= now —
+//     identical to the first hit of a front-to-back scan of the old FIFO
+//     filtered by blockedUntil;
+//   - eager picks (nothing ready, a slot would otherwise idle) take the
+//     minimum (until, seq) — identical to the old min-scan, whose strict
+//     `<` comparison kept the earliest-queued warp on ties.
+//
+// Both heaps are preallocated to the resident warp count, so steady-state
+// push/pick never allocates (guarded by TestWakeQueueAllocationFree).
+type wakeQueue struct {
+	blocked []wakeEntry
+	ready   []wakeEntry
+	seq     int64
+}
+
+// init sizes the queue for n resident warps.
+func (q *wakeQueue) init(n int) {
+	q.blocked = make([]wakeEntry, 0, n)
+	q.ready = make([]wakeEntry, 0, n)
+	q.seq = 0
+}
+
+// size returns the pooled warp count.
+func (q *wakeQueue) size() int { return len(q.blocked) + len(q.ready) }
+
+// push adds a warp whose blocking operand arrives at cycle until. Insertion
+// order is stamped so FIFO-stable picks survive the heap ordering.
+func (q *wakeQueue) push(wid int, until int64) {
+	q.blocked = append(q.blocked, wakeEntry{until: until, seq: q.seq, wid: int32(wid)})
+	q.seq++
+	q.blockedUp(len(q.blocked) - 1)
+}
+
+// pick removes and returns the warp the two-level scheduler activates at
+// cycle now (-1 when the pool is empty): the earliest-queued ready warp,
+// or — when none is ready — the warp that will be ready soonest.
+func (q *wakeQueue) pick(now int64) int {
+	q.drain(now)
+	if len(q.ready) > 0 {
+		return int(q.popReady().wid)
+	}
+	if len(q.blocked) > 0 {
+		return int(q.popBlocked().wid)
+	}
+	return -1
+}
+
+// earlier reports whether some pooled warp's blocking operand arrives
+// strictly before cycle t — the O(1) replacement for the deactivation
+// path's linear candidate scan. Entries on the ready heap became ready at
+// or before the current cycle, and every caller passes a t in the future,
+// so their mere presence answers yes.
+func (q *wakeQueue) earlier(t int64) bool {
+	return len(q.ready) > 0 || (len(q.blocked) > 0 && q.blocked[0].until < t)
+}
+
+// drain moves every blocked entry whose wait has elapsed onto the ready
+// heap. The clock never goes backwards, so entries migrate exactly once.
+func (q *wakeQueue) drain(now int64) {
+	for len(q.blocked) > 0 && q.blocked[0].until <= now {
+		e := q.popBlocked()
+		q.ready = append(q.ready, e)
+		q.readyUp(len(q.ready) - 1)
+	}
+}
+
+func blockedLess(a, b wakeEntry) bool {
+	return a.until < b.until || (a.until == b.until && a.seq < b.seq)
+}
+
+func (q *wakeQueue) blockedUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !blockedLess(q.blocked[i], q.blocked[p]) {
+			break
+		}
+		q.blocked[i], q.blocked[p] = q.blocked[p], q.blocked[i]
+		i = p
+	}
+}
+
+func (q *wakeQueue) blockedDown(i int) {
+	n := len(q.blocked)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && blockedLess(q.blocked[r], q.blocked[l]) {
+			m = r
+		}
+		if !blockedLess(q.blocked[m], q.blocked[i]) {
+			break
+		}
+		q.blocked[i], q.blocked[m] = q.blocked[m], q.blocked[i]
+		i = m
+	}
+}
+
+func (q *wakeQueue) popBlocked() wakeEntry {
+	e := q.blocked[0]
+	n := len(q.blocked) - 1
+	q.blocked[0] = q.blocked[n]
+	q.blocked = q.blocked[:n]
+	if n > 0 {
+		q.blockedDown(0)
+	}
+	return e
+}
+
+func (q *wakeQueue) readyUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.ready[i].seq >= q.ready[p].seq {
+			break
+		}
+		q.ready[i], q.ready[p] = q.ready[p], q.ready[i]
+		i = p
+	}
+}
+
+func (q *wakeQueue) readyDown(i int) {
+	n := len(q.ready)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.ready[r].seq < q.ready[l].seq {
+			m = r
+		}
+		if q.ready[m].seq >= q.ready[i].seq {
+			break
+		}
+		q.ready[i], q.ready[m] = q.ready[m], q.ready[i]
+		i = m
+	}
+}
+
+func (q *wakeQueue) popReady() wakeEntry {
+	e := q.ready[0]
+	n := len(q.ready) - 1
+	q.ready[0] = q.ready[n]
+	q.ready = q.ready[:n]
+	if n > 0 {
+		q.readyDown(0)
+	}
+	return e
+}

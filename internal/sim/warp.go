@@ -30,25 +30,26 @@ type Warp struct {
 
 	regReady []int64 // scoreboard: per-register availability
 	loadDest []bool  // register was produced by an in-flight load
-	iterCnt  []int32 // per counted-branch iteration counters
-	memIter  []int32 // per memory-instruction execution counters
+	counts   []int32 // per-slot dynamic counters (memory iterations, trip counts)
 
 	rng     uint64
 	retired int64
 }
 
-func newWarp(id int, progLen, nregs int, cacheBanks int, seed uint64) *Warp {
-	w := &Warp{
+// initWarp initializes a warp context in place. The scoreboard and counter
+// slices are handed in by the SM, which carves them out of per-SM backing
+// arrays: one allocation per array instead of several per warp, and
+// contexts that the issue scan walks every pass sit contiguously in memory.
+func initWarp(w *Warp, id int, regReady []int64, loadDest []bool, counts []int32, cacheBanks int, seed uint64) {
+	*w = Warp{
 		ID:       id,
 		Regs:     regfile.NewWarpRegs(id, cacheBanks),
-		regReady: make([]int64, nregs),
-		loadDest: make([]bool, nregs),
-		iterCnt:  make([]int32, progLen),
-		memIter:  make([]int32, progLen),
+		regReady: regReady,
+		loadDest: loadDest,
+		counts:   counts,
 		rng:      seed*0x9E3779B97F4A7C15 + 0xDEADBEEF | 1,
 		state:    stateInactive,
 	}
-	return w
 }
 
 // rand01 returns a deterministic pseudo-random float in [0,1).
@@ -65,9 +66,13 @@ func (w *Warp) rand01() float64 {
 // memory load (the two-level scheduler's descheduling trigger: "Whenever a
 // warp encounters a long latency operation, such as a data cache miss",
 // §3.2).
-func (w *Warp) operandsReadyAt(in *isa.Instr, now int64) (ready int64, blockedOnLoad bool) {
+func (w *Warp) operandsReadyAt(m *instrMeta, now int64) (ready int64, blockedOnLoad bool) {
+	// Open-coded over the precomputed metadata (compacted valid sources, a
+	// resolved WAW flag) — this runs for every issuing instruction and
+	// every blocked warp's re-examination.
 	t := int64(0)
-	check := func(r isa.Reg) {
+	for s := 0; s < int(m.nsrc); s++ {
+		r := m.srcs[s]
 		rt := w.regReady[r]
 		if rt > t {
 			t = rt
@@ -76,32 +81,32 @@ func (w *Warp) operandsReadyAt(in *isa.Instr, now int64) (ready int64, blockedOn
 			blockedOnLoad = true
 		}
 	}
-	n := in.Op.NumSrcSlots()
-	for s := 0; s < n; s++ {
-		if r := in.Src[s]; r.Valid() {
-			check(r)
+	if m.writes {
+		rt := w.regReady[m.dst]
+		if rt > t {
+			t = rt
 		}
-	}
-	if in.Op.WritesDst() && in.Dst.Valid() {
-		check(in.Dst)
+		if rt > now && w.loadDest[m.dst] {
+			blockedOnLoad = true
+		}
 	}
 	return t, blockedOnLoad
 }
 
 // advance moves the warp's PC past the instruction at pc, resolving
-// branches: counted loop branches use their trip counters, probabilistic
-// branches use the warp's deterministic RNG.
-func (w *Warp) advance(in *isa.Instr) {
+// branches: counted loop branches use their per-slot trip counters,
+// probabilistic branches the warp's deterministic RNG.
+func (w *Warp) advance(in *isa.Instr, m *instrMeta) {
 	switch in.Op {
 	case isa.OpBra:
 		w.pc = in.Target
 	case isa.OpBraCond:
 		if in.Trip > 0 {
-			w.iterCnt[w.pc]++
-			if int(w.iterCnt[w.pc]) < in.Trip {
+			w.counts[m.slot]++
+			if int(w.counts[m.slot]) < in.Trip {
 				w.pc = in.Target
 			} else {
-				w.iterCnt[w.pc] = 0
+				w.counts[m.slot] = 0
 				w.pc++
 			}
 		} else if w.rand01() < in.TakenProb {
@@ -118,15 +123,13 @@ func (w *Warp) advance(in *isa.Instr) {
 
 // updateLiveness applies the compile-time dead-operand bits and the
 // write-makes-live rule to the warp's runtime liveness bit-vector (§3.2).
-func (w *Warp) updateLiveness(in *isa.Instr) {
-	n := in.Op.NumSrcSlots()
-	for s := 0; s < n; s++ {
-		r := in.Src[s]
-		if r.Valid() && in.DeadAfter[s] {
-			w.Regs.Live.Clear(int(r))
+func (w *Warp) updateLiveness(m *instrMeta) {
+	for s := 0; s < int(m.nsrc); s++ {
+		if m.dead[s] {
+			w.Regs.Live.Clear(int(m.srcs[s]))
 		}
 	}
-	if in.Op.WritesDst() && in.Dst.Valid() {
-		w.Regs.Live.Set(int(in.Dst))
+	if m.writes {
+		w.Regs.Live.Set(int(m.dst))
 	}
 }

@@ -248,6 +248,12 @@ type SimOptions struct {
 	// results with (zero fields keep the defaults). Accounting only — it
 	// never changes timing.
 	Chip ChipConfig
+	// ForceCycleAccurate pins the simulator's one-cycle-per-pass clock
+	// instead of the event-driven fast-forward that skips cycles in which
+	// no warp can issue. Results are identical either way (the equivalence
+	// property suite asserts it); the flag exists for cycle-by-cycle
+	// debugging and for measuring the fast-forward speedup.
+	ForceCycleAccurate bool
 }
 
 // SimResult is a simulation outcome.
@@ -285,6 +291,7 @@ func (o SimOptions) config() (sim.Config, error) {
 		c.MaxCycles = o.MaxInstrs * 12
 	}
 	c.Chip = o.Chip
+	c.ForceCycleAccurate = o.ForceCycleAccurate
 	return c, nil
 }
 
