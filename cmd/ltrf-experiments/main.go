@@ -21,12 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ltrf"
@@ -52,6 +55,7 @@ func realMain() int {
 		designs    = flag.String("design", "", "comma-separated design subset for registry-driven experiments like designspace (default: every registered design)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		storeDir   = flag.String("store", "", "persist results in a crash-safe store at this directory (reused across runs; corrupt entries are quarantined and recomputed)")
 	)
 	flag.Parse()
 
@@ -97,12 +101,42 @@ func realMain() int {
 	if *run == "" {
 		*run = *expFlag
 	}
-	o := ltrf.ExperimentOptions{Quick: *quick, Parallelism: *parallel}
+	// SIGINT/SIGTERM cancel the in-flight sweep through the engine's
+	// context plumbing: workers stop dispatching, in-flight simulations
+	// stop inside the advance loop, and the deferred pprof flushes above
+	// still run — an interrupted profile is often the interesting one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := ltrf.ExperimentOptions{Ctx: ctx, Quick: *quick, Parallelism: *parallel}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}
 	if *designs != "" {
 		o.Designs = strings.Split(*designs, ",")
+	}
+	// A private engine (persistent when -store is set) rather than the
+	// process-wide default, so point failures can be counted and surfaced
+	// as a non-zero exit after rendering.
+	if *storeDir != "" {
+		eng, err := ltrf.NewPersistentExperimentEngine(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			return 1
+		}
+		o.Engine = eng
+	} else {
+		o.Engine = ltrf.NewExperimentEngine()
+	}
+
+	// checkFailures turns silently-memoized point errors into a visible
+	// non-zero exit once the tables (with their error cells) have rendered.
+	checkFailures := func() int {
+		if n := o.Engine.Failures(); n > 0 {
+			fmt.Fprintf(os.Stderr, "ltrf-experiments: %d point(s) failed; first: %v\n", n, o.Engine.FirstError())
+			return 1
+		}
+		return 0
 	}
 
 	switch {
@@ -115,17 +149,25 @@ func realMain() int {
 		t, err := ltrf.RunExperiment(*run, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			if ctx.Err() != nil {
+				return 130 // interrupted
+			}
 			return 1
 		}
 		t.Fprint(os.Stdout)
 		fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+		return checkFailures()
 	case *all:
 		start := time.Now()
 		if err := ltrf.RunAllExperiments(os.Stdout, o); err != nil {
 			fmt.Fprintln(os.Stderr, "ltrf-experiments:", err)
+			if ctx.Err() != nil {
+				return 130 // interrupted
+			}
 			return 1
 		}
 		fmt.Printf("(total %s)\n", time.Since(start).Round(time.Millisecond))
+		return checkFailures()
 	default:
 		flag.Usage()
 		return 2

@@ -1,0 +1,58 @@
+// Command ltrf-load drives an ltrf-server with a seeded, mixed
+// hit/miss/cancel request stream and reports latency and status counts.
+// It is the out-of-process face of the soak harness in internal/load —
+// the server soak test runs the same generator against an in-process
+// handler.
+//
+// Usage:
+//
+//	ltrf-load -addr http://localhost:8080 -n 256 -workers 16 -cancel 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ltrf/internal/load"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "server base URL")
+		n       = flag.Int("n", 64, "total requests")
+		workers = flag.Int("workers", 8, "concurrent workers")
+		cancel  = flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (0..1)")
+		unique  = flag.Float64("unique", 0.25, "fraction of requests using a never-seen point (forced miss)")
+		quick   = flag.Bool("quick", true, "quick per-point budget (12k instrs instead of 40k)")
+		seed    = flag.Int64("seed", 1, "request stream seed")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st, err := load.Run(ctx, load.Config{
+		BaseURL:    *addr,
+		Requests:   *n,
+		Workers:    *workers,
+		CancelFrac: *cancel,
+		UniqueFrac: *unique,
+		Quick:      *quick,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ltrf-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println(st)
+	for code, cnt := range st.ByStatus {
+		fmt.Printf("  %d: %d\n", code, cnt)
+	}
+	if st.Failed > 0 {
+		os.Exit(1)
+	}
+}

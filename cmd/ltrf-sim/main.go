@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ltrf"
 )
@@ -41,6 +44,7 @@ func main() {
 		n        = flag.Int("n", 0, "registers per register-interval (0 = default 16)")
 		instrs   = flag.Int64("instrs", 0, "dynamic instruction budget (0 = default)")
 		cycleAcc = flag.Bool("cycle-accurate", false, "tick one cycle per pass instead of the event-driven fast-forward (identical results, slower; for debugging/measurement)")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none); Ctrl-C aborts too")
 		list     = flag.Bool("list", false, "list workloads")
 	)
 	flag.Parse()
@@ -70,7 +74,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ltrf-sim:", err)
 		os.Exit(2)
 	}
-	res, err := ltrf.Simulate(ltrf.SimOptions{
+	// SIGINT/SIGTERM and -timeout both cancel the simulation through the
+	// simulator's context plumbing — it stops inside the advance loop
+	// instead of running to completion and being discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := ltrf.SimulateContext(ctx, ltrf.SimOptions{
 		Design: d, TechConfig: *tech, LatencyX: *latency,
 		ActiveWarps: *warps, IntervalRegs: *n, MaxInstrs: *instrs,
 		ForceCycleAccurate: *cycleAcc,
@@ -110,4 +124,13 @@ func main() {
 		100*chip.RF.Total()/chip.Total(),
 		100*chip.MemsysTotal()/chip.Total(),
 		100*chip.SMTotal()/chip.Total())
+
+	// Truncation (the cycle cap fired before the instruction budget) makes
+	// every number above a lower bound over less work than requested — exit
+	// distinctly so scripts never mistake a starved run for a full sample.
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "ltrf-sim: WARNING: truncated run — cycle cap %d fired at %d/%d instrs; stats cover less work than requested\n",
+			res.Config.MaxCycles, res.Instrs, res.Config.MaxInstrs)
+		os.Exit(3)
+	}
 }

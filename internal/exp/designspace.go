@@ -38,7 +38,7 @@ func DesignSpace(o Options) (*Table, error) {
 			pts = append(pts, o.point(sim.Design(n), designSpaceTech, 1.0, w.Name))
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:      "designspace",
@@ -51,21 +51,24 @@ func DesignSpace(o Options) (*Table, error) {
 	}
 	ipcs := make(map[string][]float64, len(names))
 	pows := make(map[string][]float64, len(names))
+	var anyTrunc bool
 	for _, w := range ws {
-		bl1, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+		bl1, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
 		blPower := power.NewModel(bl1.Config.Tech, false).Compute(bl1.Cycles, bl1.RF).Total() / float64(bl1.Cycles)
 		row := []string{label(w)}
 		for _, n := range names {
-			res, err := eng.Eval(o.point(sim.Design(n), designSpaceTech, 1.0, w.Name))
+			res, err := eng.Eval(o.ctx(), o.point(sim.Design(n), designSpaceTech, 1.0, w.Name))
 			if err != nil {
 				return nil, err
 			}
 			norm := res.IPC / bl1.IPC
 			ipcs[n] = append(ipcs[n], norm)
-			row = append(row, f2(norm))
+			trunc := bl1.Truncated || res.Truncated
+			anyTrunc = anyTrunc || trunc
+			row = append(row, markIf(f2(norm), trunc))
 
 			desc, err := regfile.Lookup(n)
 			if err != nil {
@@ -84,5 +87,6 @@ func DesignSpace(o Options) (*Table, error) {
 		pw = append(pw, f2(mean(pows[n])))
 	}
 	t.Rows = append(t.Rows, gm, pw)
+	noteTruncation(t, anyTrunc)
 	return t, nil
 }

@@ -54,13 +54,13 @@ func DesignSweep(o Options) (*Table, error) {
 			pts = append(pts, sweepPoints(o, sim.Design(n), w.Name, nil)...)
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	// The BL@1x baseline EDPs are per workload, shared by every cell.
 	baseRF := make(map[string]float64, len(ws))
 	baseChip := make(map[string]float64, len(ws))
 	for _, w := range ws {
-		base, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+		base, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -90,14 +90,16 @@ func DesignSweep(o Options) (*Table, error) {
 		},
 	}
 
+	var anyTrunc bool
 	for _, x := range sweepGrid {
 		row := []string{fmt.Sprintf("%.0fx", x)}
 		bestRF, bestRFVal := "", 0.0
 		bestChip, bestChipVal := "", 0.0
 		for _, n := range names {
 			var relRF, relChip []float64
+			var trunc bool
 			for _, w := range ws {
-				res, err := eng.Eval(o.point(sim.Design(n), 1, x, w.Name))
+				res, err := eng.Eval(o.ctx(), o.point(sim.Design(n), 1, x, w.Name))
 				if err != nil {
 					return nil, err
 				}
@@ -111,9 +113,11 @@ func DesignSweep(o Options) (*Table, error) {
 				if base := baseChip[w.Name]; base > 0 {
 					relChip = append(relChip, chip/base)
 				}
+				trunc = trunc || res.Truncated
 			}
+			anyTrunc = anyTrunc || trunc
 			gmRF, gmChip := geomean(relRF), geomean(relChip)
-			row = append(row, f2(gmRF), f2(gmChip))
+			row = append(row, markIf(f2(gmRF), trunc), markIf(f2(gmChip), trunc))
 			if bestRF == "" || gmRF < bestRFVal {
 				bestRF, bestRFVal = n, gmRF
 			}
@@ -124,5 +128,6 @@ func DesignSweep(o Options) (*Table, error) {
 		row = append(row, bestRF, bestChip)
 		t.Rows = append(t.Rows, row)
 	}
+	noteTruncation(t, anyTrunc)
 	return t, nil
 }

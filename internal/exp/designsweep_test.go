@@ -99,7 +99,7 @@ func TestDesignSweepRankingDisagreement(t *testing.T) {
 			pts = append(pts, sweepPoints(o, sim.Design(n), w.Name, nil)...)
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	var flips []string
 	for _, w := range ws {
@@ -110,7 +110,7 @@ func TestDesignSweepRankingDisagreement(t *testing.T) {
 			}
 			scores := make([]score, 0, len(names))
 			for _, n := range names {
-				res, err := eng.Eval(o.point(sim.Design(n), 1, x, w.Name))
+				res, err := eng.Eval(o.ctx(), o.point(sim.Design(n), 1, x, w.Name))
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +13,7 @@ import (
 	"ltrf/internal/isa"
 	"ltrf/internal/memtech"
 	"ltrf/internal/sim"
+	"ltrf/internal/store"
 	"ltrf/internal/workloads"
 )
 
@@ -44,11 +48,52 @@ func (o Options) point(d sim.Design, tech int, latX float64, workload string) Po
 	}
 }
 
+// config assembles the point's full simulator configuration — the single
+// code path shared by fresh evaluation and store rehydration, so a
+// rehydrated Result carries exactly the Config a fresh run would have.
+func (p Point) config() (sim.Config, error) {
+	tech, err := memtech.Config(p.Tech)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	c := sim.DefaultConfig(p.Design)
+	c.Tech = tech
+	c.LatencyX = p.LatencyX
+	c.MaxInstrs = p.Budget
+	c.MaxCycles = p.Budget * 12
+	if p.RegsPerInterval != 0 {
+		c.RegsPerInterval = p.RegsPerInterval
+	}
+	if p.ActiveWarps != 0 {
+		c.ActiveWarps = p.ActiveWarps
+	}
+	return c, nil
+}
+
+// PanicError is the structured error a panicking evaluation (a buggy design
+// plugin, a simulator invariant blown by a hostile configuration) is
+// converted into: the point that triggered it, the recovered value, and the
+// goroutine stack at recovery. The panic is confined to its point — other
+// points in the batch, and other requests on a serving engine, proceed.
+type PanicError struct {
+	Point Point
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exp: panic evaluating %s/%s@%gx: %s", e.Point.Design, e.Point.Workload, e.Point.LatencyX, e.Value)
+}
+
 // Engine memoizes simulation results per Point and compiled kernels per
 // (workload, unroll, regCap), and evaluates batches of points on a bounded
 // worker pool. It is safe for concurrent use; each point is simulated at
 // most once per Engine (singleflight), so batch evaluation is deduplicated
 // both within one experiment and across experiments sharing the engine.
+//
+// An engine opened with NewEngineWithStore additionally persists every
+// computed result to a crash-safe disk store and serves store hits without
+// re-simulation — the memo generalized across processes and restarts.
 type Engine struct {
 	mu      sync.Mutex
 	results map[Point]*resultEntry
@@ -58,7 +103,15 @@ type Engine struct {
 
 	compile *sim.CompileCache
 
-	sims atomic.Int64 // simulations actually executed (cache misses)
+	disk *store.Store // nil = in-process memo only
+
+	sims      atomic.Int64 // simulations actually executed (cache misses)
+	storeHits atomic.Int64 // results served from the disk store
+	storeErrs atomic.Int64 // store operations that failed after retries
+
+	failMu    sync.Mutex
+	failures  int64
+	firstFail error
 }
 
 // Sims reports how many simulations the engine has actually executed —
@@ -66,8 +119,50 @@ type Engine struct {
 // is the work memoization saved.
 func (e *Engine) Sims() int64 { return e.sims.Load() }
 
+// StoreHits reports how many evaluations were served from the disk store
+// without re-simulation (always 0 for engines without a store).
+func (e *Engine) StoreHits() int64 { return e.storeHits.Load() }
+
+// StoreErrors reports store operations that failed even after retries; the
+// engine degrades to compute-without-persist on such failures, so this is
+// an observability signal, not a correctness one.
+func (e *Engine) StoreErrors() int64 { return e.storeErrs.Load() }
+
+// Failures reports how many distinct points have failed (memoized errors,
+// counted once per point; cancellations are not memoized and not counted).
+// Drivers use it to exit non-zero when a sweep rendered with failed cells.
+func (e *Engine) Failures() int64 {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failures
+}
+
+// FirstError returns the first distinct point failure the engine recorded
+// (nil when every point so far succeeded). "First" is first-evaluated: it
+// can vary with scheduling across runs, but is stable within one engine.
+func (e *Engine) FirstError() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.firstFail
+}
+
+func (e *Engine) noteFailure(err error) {
+	e.failMu.Lock()
+	e.failures++
+	if e.firstFail == nil {
+		e.firstFail = err
+	}
+	e.failMu.Unlock()
+}
+
+// resultEntry is one point's singleflight slot: the leader (the goroutine
+// that created the entry) evaluates and closes done; waiters block on done
+// or their own context. Cancelled evaluations are NOT memoized — the
+// leader removes the entry before closing done, so waiters and later
+// callers retry under their own contexts instead of inheriting a dead
+// request's ctx.Err() forever.
 type resultEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *sim.Result
 	err  error
 }
@@ -93,6 +188,19 @@ func NewEngine() *Engine {
 		compile:  sim.NewCompileCache(),
 	}
 }
+
+// NewEngineWithStore returns an engine backed by a persistent result store:
+// evaluation consults the store before simulating and persists every fresh
+// result (best-effort — a failing store degrades to compute-only, counted
+// by StoreErrors). Open the store with Version: StoreVersion().
+func NewEngineWithStore(s *store.Store) *Engine {
+	e := NewEngine()
+	e.disk = s
+	return e
+}
+
+// Store returns the engine's disk store (nil for in-process-only engines).
+func (e *Engine) Store() *store.Store { return e.disk }
 
 // defaultEngine memoizes across every experiment run in the process.
 var defaultEngine = NewEngine()
@@ -148,47 +256,123 @@ func (p Point) canon() Point {
 	return p
 }
 
-// Eval returns the simulation result for a point, running it on first use
-// and serving the memo afterwards. Concurrent calls for the same point
-// block on the single in-flight simulation. Errors are memoized too, so the
-// serial rendering pass surfaces the same error regardless of parallelism.
-func (e *Engine) Eval(p Point) (*sim.Result, error) {
-	p = p.canon()
-	e.mu.Lock()
-	ent, ok := e.results[p]
-	if !ok {
-		ent = &resultEntry{}
-		e.results[p] = ent
-	}
-	e.mu.Unlock()
-	ent.once.Do(func() {
-		e.sims.Add(1)
-		ent.res, ent.err = e.evalUncached(p)
-	})
-	return ent.res, ent.err
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline — the class of errors that must NOT be memoized.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (e *Engine) evalUncached(p Point) (*sim.Result, error) {
+// Eval returns the simulation result for a point, running it on first use
+// and serving the memo (or the disk store, when the engine has one)
+// afterwards. Concurrent calls for the same point block on the single
+// in-flight evaluation — on ctx.Done() a waiter abandons the wait and
+// returns ctx.Err() promptly without disturbing the in-flight work.
+// Non-cancellation errors (including panics, converted to *PanicError) are
+// memoized, so the serial rendering pass surfaces the same error regardless
+// of parallelism; cancellation errors are not memoized — the point stays
+// evaluable by the next caller.
+func (e *Engine) Eval(ctx context.Context, p Point) (*sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p = p.canon()
+	for {
+		e.mu.Lock()
+		ent, ok := e.results[p]
+		if !ok {
+			ent = &resultEntry{done: make(chan struct{})}
+			e.results[p] = ent
+			e.mu.Unlock()
+
+			res, err := e.evalProtected(ctx, p)
+			if err != nil && isCtxErr(err) {
+				// Do not poison the memo with this request's death: unpublish
+				// the entry, then release waiters so they retry (each under
+				// its own context) through a fresh entry.
+				e.mu.Lock()
+				delete(e.results, p)
+				e.mu.Unlock()
+				ent.err = err
+				close(ent.done)
+				return nil, err
+			}
+			ent.res, ent.err = res, err
+			if err != nil {
+				e.noteFailure(err)
+			}
+			close(ent.done)
+			return res, err
+		}
+		e.mu.Unlock()
+
+		select {
+		case <-ent.done:
+			if ent.err != nil && isCtxErr(ent.err) {
+				continue // leader was cancelled; retry as the new leader
+			}
+			return ent.res, ent.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// evalProtected is evalStored behind a panic barrier: a panicking design
+// plugin (or any simulator invariant failure) becomes a *PanicError for
+// this point instead of taking down the batch worker or the serving
+// process.
+func (e *Engine) evalProtected(ctx context.Context, p Point) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Point: p, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return e.evalStored(ctx, p)
+}
+
+// evalStored consults the disk store around the actual simulation: a valid
+// stored entry is rehydrated without simulating; a miss (or a corrupt /
+// undecodable entry — already quarantined by the store) falls through to
+// simulation, whose result is persisted best-effort.
+func (e *Engine) evalStored(ctx context.Context, p Point) (*sim.Result, error) {
+	if e.disk == nil {
+		return e.evalUncached(ctx, p)
+	}
+	key := p.storeKey()
+	if data, err := e.disk.Get(key); err == nil {
+		if res, derr := decodeResult(p, data); derr == nil {
+			e.storeHits.Add(1)
+			return res, nil
+		}
+		// Decodable-but-implausible or schema-drifted payload: recompute and
+		// overwrite below. (Checksum failures never reach here — the store
+		// quarantines them and returns ErrCorrupt.)
+	} else if !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrCorrupt) {
+		e.storeErrs.Add(1)
+	}
+	res, err := e.evalUncached(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if data, err := encodeResult(res); err == nil {
+		if err := e.disk.Put(key, data); err != nil {
+			e.storeErrs.Add(1) // degraded to compute-only; result still served
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) evalUncached(ctx context.Context, p Point) (*sim.Result, error) {
 	virt, err := e.virtual(p.Workload, p.Unroll)
 	if err != nil {
 		return nil, err
 	}
-	tech, err := memtech.Config(p.Tech)
+	c, err := p.config()
 	if err != nil {
 		return nil, err
 	}
-	c := sim.DefaultConfig(p.Design)
-	c.Tech = tech
-	c.LatencyX = p.LatencyX
-	c.MaxInstrs = p.Budget
-	c.MaxCycles = p.Budget * 12
-	if p.RegsPerInterval != 0 {
-		c.RegsPerInterval = p.RegsPerInterval
-	}
-	if p.ActiveWarps != 0 {
-		c.ActiveWarps = p.ActiveWarps
-	}
-	res, err := sim.RunWithCache(c, virt, e.compile)
+	e.sims.Add(1)
+	res, err := sim.RunWithCacheCtx(ctx, c, virt, e.compile)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s@%gx: %w", p.Design, p.Workload, p.LatencyX, err)
 	}
@@ -199,15 +383,23 @@ func (e *Engine) evalUncached(p Point) (*sim.Result, error) {
 // worker pool. It does not return errors: results and errors alike are
 // memoized, and drivers render serially through Eval afterwards — so both
 // the table bytes and the surfaced error are independent of worker count
-// and goroutine scheduling.
-func (e *Engine) RunBatch(o Options, pts []Point) {
+// and goroutine scheduling. (Failures() and FirstError() summarize what a
+// batch left behind.) A cancelled ctx stops dispatch promptly; in-flight
+// points observe the same ctx inside the simulator's advance loop.
+func (e *Engine) RunBatch(ctx context.Context, o Options, pts []Point) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := o.workers()
 	if n > len(pts) {
 		n = len(pts)
 	}
 	if n <= 1 {
 		for _, p := range pts {
-			e.Eval(p) //nolint:errcheck // memoized; surfaced at render time
+			if ctx.Err() != nil {
+				return
+			}
+			e.Eval(ctx, p) //nolint:errcheck // memoized; surfaced at render time
 		}
 		return
 	}
@@ -218,12 +410,17 @@ func (e *Engine) RunBatch(o Options, pts []Point) {
 		go func() {
 			defer wg.Done()
 			for p := range ch {
-				e.Eval(p) //nolint:errcheck // memoized; surfaced at render time
+				e.Eval(ctx, p) //nolint:errcheck // memoized; surfaced at render time
 			}
 		}()
 	}
+dispatch:
 	for _, p := range pts {
-		ch <- p
+		select {
+		case ch <- p:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()

@@ -110,11 +110,11 @@ func TestEngineCanonSharesDefaultVariant(t *testing.T) {
 	if p.canon() != q.canon() {
 		t.Fatalf("canon(%+v) != canon(%+v)", p, q)
 	}
-	if _, err := o.Engine.Eval(p); err != nil {
+	if _, err := o.Engine.Eval(o.ctx(), p); err != nil {
 		t.Fatal(err)
 	}
 	before := o.Engine.Sims()
-	if _, err := o.Engine.Eval(q); err != nil {
+	if _, err := o.Engine.Eval(o.ctx(), q); err != nil {
 		t.Fatal(err)
 	}
 	if got := o.Engine.Sims(); got != before {
@@ -127,16 +127,16 @@ func TestEngineCanonSharesDefaultVariant(t *testing.T) {
 func TestEngineErrorsAreDeterministic(t *testing.T) {
 	o := detOpts(4)
 	bad := o.point(sim.DesignBL, 99, 1.0, "sgemm") // no such tech config
-	o.Engine.RunBatch(o, []Point{bad})
-	_, err1 := o.Engine.Eval(bad)
-	_, err2 := o.Engine.Eval(bad)
+	o.Engine.RunBatch(o.ctx(), o, []Point{bad})
+	_, err1 := o.Engine.Eval(o.ctx(), bad)
+	_, err2 := o.Engine.Eval(o.ctx(), bad)
 	if err1 == nil || err2 == nil {
 		t.Fatal("expected error for tech config #99")
 	}
 	if err1.Error() != err2.Error() {
 		t.Errorf("error not memoized: %q vs %q", err1, err2)
 	}
-	if _, err := o.Engine.Eval(o.point(sim.DesignBL, 1, 1.0, "nosuchworkload")); err == nil {
+	if _, err := o.Engine.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, "nosuchworkload")); err == nil {
 		t.Error("expected error for unknown workload")
 	}
 }

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -77,6 +78,13 @@ func (t *Table) Cell(rowKey string, col int) (string, bool) {
 
 // Options control experiment execution cost.
 type Options struct {
+	// Ctx cancels in-flight evaluation: it is observed by batch dispatch,
+	// by waiters blocked on another caller's simulation, and inside the
+	// simulator's own advance loop (coarse-grained poll), so deadlines and
+	// SIGINT actually stop simulations instead of leaking them. nil means
+	// context.Background(). Uncancelled runs are byte-identical with any
+	// Ctx value.
+	Ctx context.Context
 	// Quick reduces the per-run instruction budget for smoke tests and
 	// benchmarks (shapes are preserved, absolute numbers get noisier).
 	Quick bool
@@ -94,6 +102,14 @@ type Options struct {
 	// process-wide engine, so repeated experiments never re-simulate a
 	// point). Supply a fresh NewEngine to isolate or drop the cache.
 	Engine *Engine
+}
+
+// ctx resolves the options' cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // budget returns the dynamic-instruction budget per simulation.
@@ -193,6 +209,30 @@ func ids() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// truncMark is the suffix appended to table cells whose underlying
+// simulation was truncated (sim.Stats.Truncated: the MaxCycles hard stop
+// fired before the instruction budget), so budget-starved numbers are never
+// silently presented as full-budget samples. None of the golden quick/full
+// runs truncate — the mark appearing in a rendered table is itself a
+// regression signal.
+const truncMark = "†"
+
+// markIf appends the truncation mark to a rendered cell.
+func markIf(cell string, truncated bool) string {
+	if truncated {
+		return cell + truncMark
+	}
+	return cell
+}
+
+// noteTruncation appends the explanatory footnote when any cell in the
+// table was marked.
+func noteTruncation(t *Table, any bool) {
+	if any {
+		t.Notes = append(t.Notes, truncMark+" includes a truncated run (cycle cap fired before the instruction budget); value is a lower bound")
+	}
 }
 
 // f2, f1, f0 format floats at fixed precision.

@@ -36,7 +36,7 @@ func Figure3(o Options) (*Table, error) {
 			o.point(sim.DesignBL, 6, 1.0, w.Name),
 		)
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:      "figure3",
@@ -47,21 +47,25 @@ func Figure3(o Options) (*Table, error) {
 		},
 	}
 	var idealS, realS, idealI, realI []float64
+	var anyTrunc bool
 	for _, w := range ws {
-		bl, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+		bl, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		ideal, err := eng.Eval(o.point(sim.DesignIdeal, 6, 1.0, w.Name))
+		ideal, err := eng.Eval(o.ctx(), o.point(sim.DesignIdeal, 6, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		real, err := eng.Eval(o.point(sim.DesignBL, 6, 1.0, w.Name))
+		real, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 6, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
 		iN, rN := ideal.IPC/bl.IPC, real.IPC/bl.IPC
-		t.Rows = append(t.Rows, []string{label(w), f2(iN), f2(rN)})
+		anyTrunc = anyTrunc || bl.Truncated || ideal.Truncated || real.Truncated
+		t.Rows = append(t.Rows, []string{label(w),
+			markIf(f2(iN), bl.Truncated || ideal.Truncated),
+			markIf(f2(rN), bl.Truncated || real.Truncated)})
 		if w.Sensitive {
 			idealS = append(idealS, iN)
 			realS = append(realS, rN)
@@ -74,6 +78,7 @@ func Figure3(o Options) (*Table, error) {
 		[]string{"mean (insensitive)", f2(geomean(idealI)), f2(geomean(realI))},
 		[]string{"mean (sensitive)", f2(geomean(idealS)), f2(geomean(realS))},
 	)
+	noteTruncation(t, anyTrunc)
 	return t, nil
 }
 
@@ -93,7 +98,7 @@ func Figure4(o Options) (*Table, error) {
 			o.point(sim.DesignSHRF, 1, 1.0, w.Name),
 		)
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:      "figure4",
@@ -103,11 +108,11 @@ func Figure4(o Options) (*Table, error) {
 	}
 	var hw, sw []float64
 	for _, w := range ws {
-		rfc, err := eng.Eval(o.point(sim.DesignRFC, 1, 1.0, w.Name))
+		rfc, err := eng.Eval(o.ctx(), o.point(sim.DesignRFC, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
-		shrf, err := eng.Eval(o.point(sim.DesignSHRF, 1, 1.0, w.Name))
+		shrf, err := eng.Eval(o.ctx(), o.point(sim.DesignSHRF, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +148,7 @@ func Figure9(o Options) (*Table, error) {
 			}
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:    "figure9",
@@ -155,22 +160,25 @@ func Figure9(o Options) (*Table, error) {
 			"paper (cfg #6): LTRF +32% avg, within 5% of Ideal; (cfg #7): LTRF +28%, LTRF+ +31%",
 		},
 	}
+	var anyTrunc bool
 	for _, cfgIdx := range []int{6, 7} {
 		sums := map[sim.Design][]float64{}
 		for _, w := range ws {
-			bl1, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+			bl1, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, w.Name))
 			if err != nil {
 				return nil, err
 			}
 			row := []string{label(w), fmt.Sprintf("#%d", cfgIdx)}
 			for _, d := range designs {
-				res, err := eng.Eval(o.point(d, cfgIdx, 1.0, w.Name))
+				res, err := eng.Eval(o.ctx(), o.point(d, cfgIdx, 1.0, w.Name))
 				if err != nil {
 					return nil, err
 				}
 				n := res.IPC / bl1.IPC
 				sums[d] = append(sums[d], n)
-				row = append(row, f2(n))
+				trunc := bl1.Truncated || res.Truncated
+				anyTrunc = anyTrunc || trunc
+				row = append(row, markIf(f2(n), trunc))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -180,6 +188,7 @@ func Figure9(o Options) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, avg)
 	}
+	noteTruncation(t, anyTrunc)
 	return t, nil
 }
 
@@ -201,7 +210,7 @@ func Figure10(o Options) (*Table, error) {
 			pts = append(pts, o.point(d, 7, 1.0, w.Name))
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:      "figure10",
@@ -213,14 +222,14 @@ func Figure10(o Options) (*Table, error) {
 	}
 	sums := map[sim.Design][]float64{}
 	for _, w := range ws {
-		bl1, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, w.Name))
+		bl1, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, w.Name))
 		if err != nil {
 			return nil, err
 		}
 		basePower := power.NewModel(bl1.Config.Tech, false).Compute(bl1.Cycles, bl1.RF).Total() / float64(bl1.Cycles)
 		row := []string{label(w)}
 		for _, d := range designs {
-			res, err := eng.Eval(o.point(d, 7, 1.0, w.Name))
+			res, err := eng.Eval(o.ctx(), o.point(d, 7, 1.0, w.Name))
 			if err != nil {
 				return nil, err
 			}

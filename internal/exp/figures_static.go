@@ -72,15 +72,15 @@ func Overheads(o Options) (*Table, error) {
 
 	// Power on the baseline technology with LTRF structures: run one
 	// representative workload under BL and LTRF at config #1.
-	eng.RunBatch(o, []Point{
+	eng.RunBatch(o.ctx(), o, []Point{
 		o.point(sim.DesignBL, 1, 1.0, "sgemm"),
 		o.point(sim.DesignLTRF, 1, 1.0, "sgemm"),
 	})
-	blRes, err := eng.Eval(o.point(sim.DesignBL, 1, 1.0, "sgemm"))
+	blRes, err := eng.Eval(o.ctx(), o.point(sim.DesignBL, 1, 1.0, "sgemm"))
 	if err != nil {
 		return nil, err
 	}
-	ltrfRes, err := eng.Eval(o.point(sim.DesignLTRF, 1, 1.0, "sgemm"))
+	ltrfRes, err := eng.Eval(o.ctx(), o.point(sim.DesignLTRF, 1, 1.0, "sgemm"))
 	if err != nil {
 		return nil, err
 	}

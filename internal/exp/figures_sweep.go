@@ -31,14 +31,16 @@ func sweepPoints(o Options, d sim.Design, workload string, set func(*Point)) []P
 }
 
 // sweepCurve renders a declared series from the memo: normalized IPC
-// relative to the series' own 1x point.
-func sweepCurve(eng *Engine, pts []Point) ([]float64, error) {
+// relative to the series' own 1x point, plus a per-point truncation flag so
+// renderers can mark budget-starved cells instead of serving them silently.
+func sweepCurve(o Options, eng *Engine, pts []Point) ([]float64, []bool, error) {
 	out := make([]float64, len(pts))
+	trunc := make([]bool, len(pts))
 	var ipc1 float64
 	for i, p := range pts {
-		res, err := eng.Eval(p)
+		res, err := eng.Eval(o.ctx(), p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if i == 0 {
 			ipc1 = res.IPC
@@ -46,8 +48,19 @@ func sweepCurve(eng *Engine, pts []Point) ([]float64, error) {
 		if ipc1 > 0 {
 			out[i] = res.IPC / ipc1
 		}
+		trunc[i] = res.Truncated
 	}
-	return out, nil
+	return out, trunc, nil
+}
+
+// anyTrue reports whether any flag is set.
+func anyTrue(flags []bool) bool {
+	for _, f := range flags {
+		if f {
+			return true
+		}
+	}
+	return false
 }
 
 // maxTolerable interpolates the largest latency multiplier whose normalized
@@ -89,7 +102,7 @@ func Figure11(o Options) (*Table, error) {
 			pts = append(pts, sweepPoints(o, d, w.Name, nil)...)
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	t := &Table{
 		ID:      "figure11",
@@ -101,15 +114,17 @@ func Figure11(o Options) (*Table, error) {
 		},
 	}
 	curves := map[sim.Design][][]float64{}
+	var anyTrunc bool
 	for _, w := range ws {
 		row := []string{label(w)}
 		for _, d := range designs {
-			curve, err := sweepCurve(eng, sweepPoints(o, d, w.Name, nil))
+			curve, trunc, err := sweepCurve(o, eng, sweepPoints(o, d, w.Name, nil))
 			if err != nil {
 				return nil, err
 			}
 			curves[d] = append(curves[d], curve)
-			row = append(row, f1(maxTolerable(curve, 0.05)))
+			row = append(row, markIf(f1(maxTolerable(curve, 0.05)), anyTrue(trunc)))
+			anyTrunc = anyTrunc || anyTrue(trunc)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -124,16 +139,17 @@ func Figure11(o Options) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	noteTruncation(t, anyTrunc)
 	return t, nil
 }
 
 // sweepAverage declares and evaluates the full latency sweep for several
 // variants of one design, then averages the normalized IPC across the
 // evaluation workloads.
-func sweepAverage(o Options, d sim.Design, variants []sweepVariant) (names []string, series [][]float64, err error) {
+func sweepAverage(o Options, d sim.Design, variants []sweepVariant) (names []string, series [][]float64, truncs [][]bool, err error) {
 	ws, err := o.evalSet()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	eng := o.engine()
 
@@ -143,20 +159,23 @@ func sweepAverage(o Options, d sim.Design, variants []sweepVariant) (names []str
 			pts = append(pts, sweepPoints(o, d, w.Name, v.set)...)
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	names = make([]string, len(variants))
 	series = make([][]float64, len(variants))
+	truncs = make([][]bool, len(variants))
 	for vi, v := range variants {
 		names[vi] = v.name
 		acc := make([][]float64, len(sweepGrid))
+		truncs[vi] = make([]bool, len(sweepGrid))
 		for _, w := range ws {
-			curve, err := sweepCurve(eng, sweepPoints(o, d, w.Name, v.set))
+			curve, trunc, err := sweepCurve(o, eng, sweepPoints(o, d, w.Name, v.set))
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			for i, val := range curve {
 				acc[i] = append(acc[i], val)
+				truncs[vi][i] = truncs[vi][i] || trunc[i]
 			}
 		}
 		series[vi] = make([]float64, len(sweepGrid))
@@ -164,19 +183,25 @@ func sweepAverage(o Options, d sim.Design, variants []sweepVariant) (names []str
 			series[vi][i] = geomean(acc[i])
 		}
 	}
-	return names, series, nil
+	return names, series, truncs, nil
 }
 
-func sweepTable(id, title string, names []string, series [][]float64, notes []string) *Table {
+// sweepTable renders a latency-grid table; truncs (may be nil) marks cells
+// whose geomean includes a truncated run.
+func sweepTable(id, title string, names []string, series [][]float64, truncs [][]bool, notes []string) *Table {
 	t := &Table{ID: id, Title: title, Notes: notes}
 	t.Headers = append([]string{"Latency"}, names...)
+	var anyTrunc bool
 	for i, x := range sweepGrid {
 		row := []string{fmt.Sprintf("%.0fx", x)}
 		for vi := range series {
-			row = append(row, f2(series[vi][i]))
+			trunc := truncs != nil && truncs[vi][i]
+			row = append(row, markIf(f2(series[vi][i]), trunc))
+			anyTrunc = anyTrunc || trunc
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	noteTruncation(t, anyTrunc)
 	return t
 }
 
@@ -189,12 +214,12 @@ func Figure12(o Options) (*Table, error) {
 		{"16 regs", func(p *Point) { p.RegsPerInterval = 16 }},
 		{"32 regs", func(p *Point) { p.RegsPerInterval = 32 }},
 	}
-	names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	names, series, truncs, err := sweepAverage(o, sim.DesignLTRF, variants)
 	if err != nil {
 		return nil, err
 	}
 	return sweepTable("figure12", "LTRF sensitivity to registers per register-interval",
-		names, series, []string{
+		names, series, truncs, []string{
 			"each series normalized to its own 1x IPC",
 			"paper: 8-reg intervals degrade markedly at high latency; 16 suffices; 32 is not uniformly better",
 		}), nil
@@ -208,12 +233,12 @@ func Figure13(o Options) (*Table, error) {
 		{"8 warps", func(p *Point) { p.ActiveWarps = 8 }},
 		{"16 warps", func(p *Point) { p.ActiveWarps = 16 }},
 	}
-	names, series, err := sweepAverage(o, sim.DesignLTRF, variants)
+	names, series, truncs, err := sweepAverage(o, sim.DesignLTRF, variants)
 	if err != nil {
 		return nil, err
 	}
 	return sweepTable("figure13", "LTRF sensitivity to the number of active warps",
-		names, series, []string{
+		names, series, truncs, []string{
 			"each series normalized to its own 1x IPC; cache space per warp constant",
 			"paper: 4->8 warps +36.9% at the slowest RF; beyond 8 no significant gain",
 		}), nil
@@ -244,20 +269,23 @@ func Figure14(o Options) (*Table, error) {
 			pts = append(pts, sweepPoints(o, dd.d, w.Name, nil)...)
 		}
 	}
-	eng.RunBatch(o, pts)
+	eng.RunBatch(o.ctx(), o, pts)
 
 	names := make([]string, len(designs))
 	series := make([][]float64, len(designs))
+	truncs := make([][]bool, len(designs))
 	for di, dd := range designs {
 		names[di] = dd.name
 		acc := make([][]float64, len(sweepGrid))
+		truncs[di] = make([]bool, len(sweepGrid))
 		for _, w := range ws {
-			curve, err := sweepCurve(eng, sweepPoints(o, dd.d, w.Name, nil))
+			curve, trunc, err := sweepCurve(o, eng, sweepPoints(o, dd.d, w.Name, nil))
 			if err != nil {
 				return nil, err
 			}
 			for i, v := range curve {
 				acc[i] = append(acc[i], v)
+				truncs[di][i] = truncs[di][i] || trunc[i]
 			}
 		}
 		series[di] = make([]float64, len(sweepGrid))
@@ -266,7 +294,7 @@ func Figure14(o Options) (*Table, error) {
 		}
 	}
 	return sweepTable("figure14", "LTRF vs. software-managed register caching under latency",
-		names, series, []string{
+		names, series, truncs, []string{
 			"each series normalized to its own 1x IPC",
 			"paper: SHRF ~ RFC (tolerate ~2x); LTRF(strand) ~3x; LTRF(interval) 5.3x",
 		}), nil

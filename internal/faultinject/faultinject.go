@@ -1,0 +1,91 @@
+// Package faultinject registers HIDDEN register-file designs that fail in
+// controlled ways, for exercising the serving stack's fault isolation:
+//
+//   - "fault-panic": panics on its first operand read, mid-simulation —
+//     the buggy-design-plugin scenario. exp.Engine must convert it into a
+//     *exp.PanicError confined to the point; the server must answer 500
+//     with structure instead of dying.
+//   - "fault-hang": sleeps on every operand read, so a point takes
+//     effectively forever while remaining CANCELLABLE between simulator
+//     passes — the hung-point scenario the context plumbing must rescue.
+//
+// Both designs are registered with Descriptor.Hidden, so they never appear
+// in Names()/Descriptors() enumeration (design-space tables, CLI listings,
+// conformance suites) and are reachable only by explicit name. Import the
+// package for side effects from robustness tests:
+//
+//	import _ "ltrf/internal/faultinject"
+package faultinject
+
+import (
+	"time"
+
+	"ltrf/internal/bitvec"
+	"ltrf/internal/isa"
+	"ltrf/internal/regfile"
+)
+
+// DesignPanic and DesignHang are the registered (hidden) design names.
+const (
+	DesignPanic = "fault-panic"
+	DesignHang  = "fault-hang"
+)
+
+// HangDelay is the per-operand-read sleep of the fault-hang design: long
+// enough that any realistic budget takes minutes (a test's deadline fires
+// first), short enough that the simulator reaches its between-pass
+// cancellation poll promptly after a ctx fires.
+const HangDelay = 200 * time.Microsecond
+
+func init() {
+	regfile.Register(regfile.Descriptor{
+		Name:   DesignPanic,
+		Hidden: true,
+		New: func(ctx regfile.BuildContext) (regfile.Subsystem, error) {
+			return &faulty{Subsystem: regfile.NewBL(ctx.Config), mode: modePanic}, nil
+		},
+	})
+	regfile.Register(regfile.Descriptor{
+		Name:   DesignHang,
+		Hidden: true,
+		New: func(ctx regfile.BuildContext) (regfile.Subsystem, error) {
+			return &faulty{Subsystem: regfile.NewBL(ctx.Config), mode: modeHang}, nil
+		},
+	})
+}
+
+type faultMode int
+
+const (
+	modePanic faultMode = iota
+	modeHang
+)
+
+// faulty wraps the BL subsystem and injects its fault on the hottest
+// simulator callback (operand read); every other method passes through, so
+// compilation, occupancy, and construction behave like a healthy design —
+// the fault fires mid-simulation, where it is hardest to contain.
+type faulty struct {
+	regfile.Subsystem
+	mode faultMode
+}
+
+func (f *faulty) Name() string { return f.Subsystem.Name() }
+
+func (f *faulty) ReadOperands(now int64, w *regfile.WarpRegs, srcs []isa.Reg) int64 {
+	switch f.mode {
+	case modePanic:
+		panic("faultinject: injected design panic (fault-panic)")
+	case modeHang:
+		time.Sleep(HangDelay)
+	}
+	return f.Subsystem.ReadOperands(now, w, srcs)
+}
+
+func (f *faulty) WriteResult(now int64, w *regfile.WarpRegs, dst isa.Reg) int64 {
+	return f.Subsystem.WriteResult(now, w, dst)
+}
+
+func (f *faulty) OnUnitEnter(now int64, w *regfile.WarpRegs, unitID int, ws bitvec.Vector) int64 {
+	return f.Subsystem.OnUnitEnter(now, w, unitID, ws)
+}

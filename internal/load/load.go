@@ -1,0 +1,218 @@
+// Package load is the ltrf-server load generator: a seeded, mixed
+// hit/miss/cancel request stream with latency and status accounting. It
+// doubles as the soak harness — the server soak test drives an in-process
+// handler through it, and cmd/ltrf-load drives a live server over TCP.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// BaseURL targets the server (e.g. "http://localhost:8080").
+	BaseURL string
+	// Client performs the requests (nil = http.DefaultClient). The soak
+	// test supplies an httptest client bound to an in-process server.
+	Client *http.Client
+	// Requests is the total request count (default 64).
+	Requests int
+	// Workers is the concurrency (default 8).
+	Workers int
+	// CancelFrac of requests are cancelled client-side mid-flight
+	// (0..1) — they must come back as transport errors or 499s promptly,
+	// without leaking server goroutines.
+	CancelFrac float64
+	// UniqueFrac of requests use a fresh never-seen point (a store/memo
+	// miss forcing a simulation); the rest draw from a small shared pool
+	// (hits after first touch). Default 0.25.
+	UniqueFrac float64
+	// Quick uses the quick experiment budget per point (12k instrs)
+	// instead of 40k — the soak default.
+	Quick bool
+	// Seed makes the request stream reproducible.
+	Seed int64
+}
+
+// Stats aggregates a run's outcomes.
+type Stats struct {
+	Requests  int
+	OK        int
+	Truncated int // 422 explicit truncation state
+	Shed      int // 429 + 503
+	Cancelled int // client-side cancels (transport error or 499)
+	Failed    int // 5xx and transport errors on uncancelled requests
+	ByStatus  map[int]int
+
+	// Latencies of OK responses, sorted ascending (for percentiles).
+	Latencies []time.Duration
+}
+
+// Percentile returns the p-th (0..100) latency of OK responses.
+func (s *Stats) Percentile(p float64) time.Duration {
+	if len(s.Latencies) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(s.Latencies)-1))
+	return s.Latencies[i]
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("requests=%d ok=%d truncated=%d shed=%d cancelled=%d failed=%d p50=%v p99=%v",
+		s.Requests, s.OK, s.Truncated, s.Shed, s.Cancelled, s.Failed,
+		s.Percentile(50), s.Percentile(99))
+}
+
+// pool is the shared point space non-unique requests draw from: small
+// enough that hits dominate after warmup, varied enough to exercise
+// several designs and workloads.
+var (
+	poolDesigns   = []string{"BL", "RFC", "LTRF", "LTRF+"}
+	poolWorkloads = []string{"sgemm", "btree", "vectoradd"}
+	poolLatencies = []float64{1, 2, 4, 8}
+)
+
+// point builds one request body from the stream's RNG.
+func point(rng *rand.Rand, cfg *Config, seq int) map[string]any {
+	body := map[string]any{
+		"design":    poolDesigns[rng.Intn(len(poolDesigns))],
+		"workload":  poolWorkloads[rng.Intn(len(poolWorkloads))],
+		"latency_x": poolLatencies[rng.Intn(len(poolLatencies))],
+		// Truncation is part of the expected response mix, not a failure:
+		// accept lower-bound stats so slow points answer 200.
+		"allow_truncated": true,
+	}
+	budget := int64(40_000)
+	if cfg.Quick {
+		budget = 12_000
+	}
+	if rng.Float64() < cfg.UniqueFrac {
+		// A never-seen budget forces a distinct canonical point — a
+		// guaranteed store/memo miss without inventing designs.
+		budget += int64(seq)
+	}
+	body["budget"] = budget
+	return body
+}
+
+// Run fires the configured request stream and accumulates stats. It stops
+// early (without error) when ctx fires; transport errors on uncancelled
+// requests count as Failed rather than aborting the run — a load generator
+// that dies on the first blip cannot soak anything.
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("load: Config.BaseURL is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.UniqueFrac == 0 {
+		cfg.UniqueFrac = 0.25
+	}
+
+	type job struct {
+		body   map[string]any
+		cancel bool
+	}
+	// The stream is drawn up front from one seeded RNG, so the mix is
+	// reproducible regardless of worker interleaving.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]job, cfg.Requests)
+	for i := range jobs {
+		jobs[i] = job{body: point(rng, &cfg, i), cancel: rng.Float64() < cfg.CancelFrac}
+	}
+
+	var (
+		mu sync.Mutex
+		st = &Stats{ByStatus: map[int]int{}}
+	)
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				status, dur, err := fire(ctx, client, cfg.BaseURL, j.body, j.cancel)
+				mu.Lock()
+				st.Requests++
+				switch {
+				case j.cancel:
+					st.Cancelled++
+				case err != nil:
+					st.Failed++
+				case status == http.StatusOK:
+					st.OK++
+					st.Latencies = append(st.Latencies, dur)
+				case status == http.StatusUnprocessableEntity:
+					st.Truncated++
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					st.Shed++
+				default:
+					st.Failed++
+				}
+				if err == nil {
+					st.ByStatus[status]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	sort.Slice(st.Latencies, func(i, k int) bool { return st.Latencies[i] < st.Latencies[k] })
+	return st, nil
+}
+
+// fire performs one eval request. Cancelled requests get a context that
+// dies shortly after dispatch — mid-queue or mid-simulation.
+func fire(ctx context.Context, client *http.Client, base string, body map[string]any, cancel bool) (status int, dur time.Duration, err error) {
+	reqCtx := ctx
+	if cancel {
+		var cf context.CancelFunc
+		reqCtx, cf = context.WithTimeout(ctx, 2*time.Millisecond)
+		defer cf()
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, base+"/v1/eval", bytes.NewReader(data))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, time.Since(start), err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return resp.StatusCode, time.Since(start), nil
+}

@@ -60,6 +60,14 @@ type Descriptor struct {
 	// per compressed access.
 	MainDynScale func(tech memtech.Params) float64
 
+	// Hidden keeps the design out of Names()/Descriptors() enumeration —
+	// and with it out of registry-driven experiments, CLI listings, and the
+	// conformance suites — while remaining resolvable by explicit Lookup.
+	// The fault-injection designs (internal/faultinject: a panicking
+	// subsystem, a hung one) register hidden: they exist to be requested BY
+	// NAME by robustness tests, never to appear in a design-space table.
+	Hidden bool
+
 	// New constructs the subsystem for one simulation.
 	New func(ctx BuildContext) (Subsystem, error)
 }
@@ -174,12 +182,15 @@ func Lookup(name string) (Descriptor, error) {
 	return d, nil
 }
 
-// Names returns the registered design names in sorted order.
+// Names returns the registered design names in sorted order, excluding
+// hidden designs (which remain resolvable by Lookup).
 func Names() []string {
 	regMu.RLock()
 	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
+	for n, d := range registry {
+		if !d.Hidden {
+			out = append(out, n)
+		}
 	}
 	regMu.RUnlock()
 	sort.Strings(out)

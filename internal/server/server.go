@@ -1,0 +1,495 @@
+// Package server is the sweep-as-a-service HTTP/JSON layer over
+// internal/exp.Engine: evaluate single points, regenerate whole paper
+// artifacts, and inspect the serving state — with robustness as the design
+// center rather than an afterthought.
+//
+// Failure semantics, end to end:
+//
+//   - Cancellation: every evaluation runs under the request's context (plus
+//     an optional per-request deadline), observed inside the simulator's
+//     advance loop — a disconnected client or fired deadline stops the
+//     simulation instead of leaking it.
+//   - Load shedding: evaluations pass a bounded gate (MaxInFlight running,
+//     MaxQueue waiting). A full queue answers 429 immediately; a draining
+//     server answers 503 — clients retry elsewhere instead of piling on.
+//   - Panic isolation: a panicking design plugin becomes a structured 500
+//     for that point (exp.PanicError: point, value, stack); the process and
+//     every other request keep going.
+//   - Truncation: a result whose simulation hit the cycle cap before its
+//     instruction budget is an explicit 422 error state unless the request
+//     opts in with allow_truncated — truncated stats are never served as
+//     full-budget samples by default.
+//   - Draining: BeginDrain stops admitting work while in-flight requests
+//     finish; pair it with http.Server.Shutdown for a graceful stop.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltrf/internal/exp"
+	"ltrf/internal/memtech"
+	"ltrf/internal/regfile"
+	"ltrf/internal/sim"
+	"ltrf/internal/workloads"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Engine evaluates points (required). Give it a persistent store
+	// (exp.NewEngineWithStore) to serve across restarts.
+	Engine *exp.Engine
+	// MaxInFlight bounds concurrently evaluating requests (0 = GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an evaluation slot before the
+	// server sheds with 429 (0 = 4x MaxInFlight).
+	MaxQueue int
+	// DefaultTimeout caps each evaluation request without an explicit
+	// timeout_ms (0 = no server-imposed deadline).
+	DefaultTimeout time.Duration
+}
+
+// Server handles the HTTP API. Create with New, mount Handler.
+type Server struct {
+	cfg Config
+
+	sem     chan struct{} // in-flight evaluation slots
+	waiting atomic.Int64  // requests queued for a slot
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // admitted requests, for Drain
+
+	shed429 atomic.Int64
+	shed503 atomic.Int64
+}
+
+// New validates the config and returns a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	return &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Handler returns the API routes:
+//
+//	POST /v1/eval        evaluate one point
+//	POST /v1/experiment  regenerate one paper artifact
+//	GET  /v1/meta        designs, workloads, experiments, counters
+//	GET  /healthz        200 serving / 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// BeginDrain stops admitting new work: subsequent requests answer 503.
+// In-flight requests continue; wait for them with Drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every admitted request has finished or ctx fires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Panic forensics (kind "panic" only).
+	PanicValue string `json:"panic_value,omitempty"`
+	PanicStack string `json:"panic_stack,omitempty"`
+	// The truncated result (kind "truncated" only), so a client that
+	// decides the lower bound is still useful need not re-request.
+	Result *EvalResponse `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Kind: kind, Message: msg}})
+}
+
+// admit performs the load-shedding gate. On success the caller owns a slot
+// and must call the returned release. A nil release means the response has
+// already been written (shed or cancelled).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func()) {
+	if s.draining.Load() {
+		s.shed503.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against another replica")
+		return nil
+	}
+	if q := s.waiting.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.shed429.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "overloaded", "evaluation queue is full; retry with backoff")
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.waiting.Add(-1)
+		return func() { <-s.sem }
+	case <-r.Context().Done():
+		s.waiting.Add(-1)
+		// Client gone while queued; nothing useful to write.
+		writeErr(w, statusClientClosedRequest, "cancelled", "client disconnected while queued")
+		return nil
+	}
+}
+
+// statusClientClosedRequest mirrors nginx's 499: the client closed the
+// connection before the response; the code is best-effort (usually unseen).
+const statusClientClosedRequest = 499
+
+// EvalRequest asks for one point's result. Zero fields take defaults:
+// tech 1, latency_x 1.0, budget 40000 (the full-run experiment budget).
+type EvalRequest struct {
+	Design          string  `json:"design"`
+	Tech            int     `json:"tech"`
+	LatencyX        float64 `json:"latency_x"`
+	Workload        string  `json:"workload"`
+	Budget          int64   `json:"budget"`
+	RegsPerInterval int     `json:"regs_per_interval"`
+	ActiveWarps     int     `json:"active_warps"`
+	// AllowTruncated opts into receiving a truncated (cycle-cap-hit) result
+	// as 200 instead of the default 422 error state.
+	AllowTruncated bool `json:"allow_truncated"`
+	// TimeoutMS caps this evaluation; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// EvalResponse is a point's result.
+type EvalResponse struct {
+	Design    string    `json:"design"`
+	Workload  string    `json:"workload"`
+	Tech      int       `json:"tech"`
+	LatencyX  float64   `json:"latency_x"`
+	Budget    int64     `json:"budget"`
+	IPC       float64   `json:"ipc"`
+	Cycles    int64     `json:"cycles"`
+	Instrs    int64     `json:"instrs"`
+	Truncated bool      `json:"truncated"`
+	Warps     int       `json:"warps"`
+	Capacity  int       `json:"capacity_kb"`
+	Stats     sim.Stats `json:"stats"`
+}
+
+// parsePoint validates an EvalRequest against the live registries and
+// builds the canonical point. Validation happens BEFORE evaluation so bad
+// input is a 400, never a burned simulation slot.
+func parsePoint(req *EvalRequest) (exp.Point, error) {
+	desc, err := regfile.Lookup(req.Design)
+	if err != nil {
+		return exp.Point{}, err
+	}
+	w, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return exp.Point{}, err
+	}
+	if req.Tech == 0 {
+		req.Tech = 1
+	}
+	if _, err := memtech.Config(req.Tech); err != nil {
+		return exp.Point{}, err
+	}
+	if req.LatencyX == 0 {
+		req.LatencyX = 1.0
+	}
+	if req.LatencyX < 0 {
+		return exp.Point{}, fmt.Errorf("latency_x %v must be positive", req.LatencyX)
+	}
+	if req.Budget == 0 {
+		req.Budget = 40_000
+	}
+	if req.Budget < 0 {
+		return exp.Point{}, fmt.Errorf("budget %d must be positive", req.Budget)
+	}
+	if req.RegsPerInterval < 0 || req.ActiveWarps < 0 {
+		return exp.Point{}, fmt.Errorf("knob overrides must be non-negative")
+	}
+	return exp.Point{
+		Design:          sim.Design(desc.Name),
+		Tech:            req.Tech,
+		LatencyX:        req.LatencyX,
+		Workload:        w.Name,
+		Unroll:          workloads.UnrollMaxwell,
+		Budget:          req.Budget,
+		RegsPerInterval: req.RegsPerInterval,
+		ActiveWarps:     req.ActiveWarps,
+	}, nil
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	var req EvalRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	pt, err := parsePoint(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := s.cfg.Engine.Eval(ctx, pt)
+	if err != nil {
+		s.writeEvalError(w, err)
+		return
+	}
+	resp := evalResponse(pt, res)
+	if res.Truncated && !req.AllowTruncated {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]errorBody{"error": {
+			Kind:    "truncated",
+			Message: "simulation hit the cycle cap before its instruction budget; stats are a lower bound (set allow_truncated to accept)",
+			Result:  &resp,
+		}})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func evalResponse(pt exp.Point, res *sim.Result) EvalResponse {
+	return EvalResponse{
+		Design:    res.Design.Name(),
+		Workload:  pt.Workload,
+		Tech:      pt.Tech,
+		LatencyX:  pt.LatencyX,
+		Budget:    pt.Budget,
+		IPC:       res.IPC,
+		Cycles:    res.Cycles,
+		Instrs:    res.Instrs,
+		Truncated: res.Truncated,
+		Warps:     res.Warps,
+		Capacity:  res.Capacity,
+		Stats:     res.Stats,
+	}
+}
+
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	var pe *exp.PanicError
+	switch {
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusInternalServerError, map[string]errorBody{"error": {
+			Kind:       "panic",
+			Message:    pe.Error(),
+			PanicValue: pe.Value,
+			PanicStack: pe.Stack,
+		}})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, "timeout", err.Error())
+	case errors.Is(err, context.Canceled):
+		writeErr(w, statusClientClosedRequest, "cancelled", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "eval_failed", err.Error())
+	}
+}
+
+// ExperimentRequest regenerates one paper artifact.
+type ExperimentRequest struct {
+	ID          string   `json:"id"`
+	Quick       bool     `json:"quick"`
+	Workloads   []string `json:"workloads,omitempty"`
+	Designs     []string `json:"designs,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+	TimeoutMS   int64    `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentResponse is a rendered artifact.
+type ExperimentResponse struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Text    string     `json:"text"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	var req ExperimentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	spec, err := exp.ByID(req.ID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	t, err := spec.Run(exp.Options{
+		Ctx:         ctx,
+		Quick:       req.Quick,
+		Workloads:   req.Workloads,
+		Designs:     req.Designs,
+		Parallelism: req.Parallelism,
+		Engine:      s.cfg.Engine,
+	})
+	if err != nil {
+		s.writeEvalError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{
+		ID:      t.ID,
+		Title:   t.Title,
+		Headers: t.Headers,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+		Text:    t.String(),
+	})
+}
+
+// MetaResponse describes the serving surface and its counters.
+type MetaResponse struct {
+	Designs     []string `json:"designs"`
+	Workloads   []string `json:"workloads"`
+	Experiments []string `json:"experiments"`
+
+	Sims        int64 `json:"sims"`
+	StoreHits   int64 `json:"store_hits"`
+	StoreErrors int64 `json:"store_errors"`
+	Failures    int64 `json:"failures"`
+
+	Store *StoreMeta `json:"store,omitempty"`
+
+	InFlight int64 `json:"in_flight"`
+	Waiting  int64 `json:"waiting"`
+	Shed429  int64 `json:"shed_429"`
+	Shed503  int64 `json:"shed_503"`
+	Draining bool  `json:"draining"`
+}
+
+// StoreMeta is the persistent store's counter view (absent without one).
+type StoreMeta struct {
+	Dir         string `json:"dir"`
+	Hits        int64  `json:"hits"`
+	Misses      int64  `json:"misses"`
+	Puts        int64  `json:"puts"`
+	Quarantined int64  `json:"quarantined"`
+	Retries     int64  `json:"retries"`
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	var wl []string
+	for _, x := range workloads.All() {
+		wl = append(wl, x.Name)
+	}
+	var exps []string
+	for _, spec := range exp.Registry() {
+		exps = append(exps, spec.ID)
+	}
+	eng := s.cfg.Engine
+	meta := MetaResponse{
+		Designs:     regfile.Names(),
+		Workloads:   wl,
+		Experiments: exps,
+		Sims:        eng.Sims(),
+		StoreHits:   eng.StoreHits(),
+		StoreErrors: eng.StoreErrors(),
+		Failures:    eng.Failures(),
+		InFlight:    int64(len(s.sem)),
+		Waiting:     s.waiting.Load(),
+		Shed429:     s.shed429.Load(),
+		Shed503:     s.shed503.Load(),
+		Draining:    s.draining.Load(),
+	}
+	if st := eng.Store(); st != nil {
+		meta.Store = &StoreMeta{
+			Dir:         st.Dir(),
+			Hits:        st.Hits(),
+			Misses:      st.Misses(),
+			Puts:        st.Puts(),
+			Quarantined: st.Quarantined(),
+			Retries:     st.Retries(),
+		}
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining", "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

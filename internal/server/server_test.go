@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ltrf/internal/exp"
+	_ "ltrf/internal/faultinject"
+	"ltrf/internal/store"
+)
+
+// newTestServer stands up a server over an httptest listener. cfg.Engine
+// defaults to a fresh in-memory engine.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = exp.NewEngine()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and decodes the response envelope.
+func post(t *testing.T, url string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+// errKind extracts error.kind from an error envelope.
+func errKind(t *testing.T, m map[string]json.RawMessage) string {
+	t.Helper()
+	var e errorBody
+	if raw, ok := m["error"]; ok {
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e.Kind
+}
+
+// quickEval is a fast healthy request body.
+func quickEval() map[string]any {
+	return map[string]any{"design": "LTRF", "workload": "vectoradd", "budget": 2000}
+}
+
+func TestEvalHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, m := post(t, ts.URL+"/v1/eval", quickEval())
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, m)
+	}
+	var r EvalResponse
+	full, _ := json.Marshal(m)
+	if err := json.Unmarshal(full, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != "LTRF" || r.Workload != "vectoradd" || r.IPC <= 0 || r.Cycles <= 0 {
+		t.Errorf("implausible response: %+v", r)
+	}
+	if r.Truncated {
+		t.Error("quick healthy point reported truncated")
+	}
+}
+
+func TestEvalValidationIs400BeforeSimulation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	cases := []map[string]any{
+		{"design": "nosuch", "workload": "sgemm"},
+		{"design": "LTRF", "workload": "nosuch"},
+		{"design": "LTRF", "workload": "sgemm", "tech": 99},
+		{"design": "LTRF", "workload": "sgemm", "latency_x": -1},
+		{"design": "LTRF", "workload": "sgemm", "budget": -5},
+		{"design": "LTRF", "workload": "sgemm", "bogus_field": 1},
+	}
+	for _, c := range cases {
+		code, m := post(t, ts.URL+"/v1/eval", c)
+		if code != http.StatusBadRequest {
+			t.Errorf("%v: status = %d (%v), want 400", c, code, m)
+		}
+	}
+	if n := srv.cfg.Engine.Sims(); n != 0 {
+		t.Errorf("validation burned %d simulations, want 0", n)
+	}
+}
+
+// TestEvalTruncated422 asserts a cycle-cap-starved point is an explicit
+// error state carrying the lower-bound result, and that allow_truncated
+// downgrades it to 200.
+func TestEvalTruncated422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// BL at 64x main-RF latency stalls IPC far below 1/12, so the cycle cap
+	// (12x budget) fires first — verified truncated by the sim tests.
+	body := map[string]any{"design": "BL", "workload": "sgemm", "latency_x": 64, "budget": 12000}
+
+	code, m := post(t, ts.URL+"/v1/eval", body)
+	if code != http.StatusUnprocessableEntity || errKind(t, m) != "truncated" {
+		t.Fatalf("status = %d kind=%q, want 422/truncated", code, errKind(t, m))
+	}
+	var e errorBody
+	if err := json.Unmarshal(m["error"], &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Result == nil || !e.Result.Truncated || e.Result.Instrs >= 12000 {
+		t.Errorf("422 must carry the truncated lower-bound result, got %+v", e.Result)
+	}
+
+	body["allow_truncated"] = true
+	code, m = post(t, ts.URL+"/v1/eval", body)
+	if code != http.StatusOK {
+		t.Fatalf("allow_truncated: status = %d (%v), want 200", code, m)
+	}
+	var r EvalResponse
+	full, _ := json.Marshal(m)
+	if err := json.Unmarshal(full, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Truncated {
+		t.Error("allow_truncated response must still mark truncated")
+	}
+}
+
+// TestEvalPanicIsStructured500 asserts a panicking design answers a typed
+// 500 with forensics and the server keeps serving afterwards.
+func TestEvalPanicIsStructured500(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, m := post(t, ts.URL+"/v1/eval",
+		map[string]any{"design": "fault-panic", "workload": "vectoradd", "budget": 2000})
+	if code != http.StatusInternalServerError || errKind(t, m) != "panic" {
+		t.Fatalf("status = %d kind=%q, want 500/panic", code, errKind(t, m))
+	}
+	var e errorBody
+	if err := json.Unmarshal(m["error"], &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.PanicValue, "injected design panic") || e.PanicStack == "" {
+		t.Errorf("panic forensics missing: value=%q stackLen=%d", e.PanicValue, len(e.PanicStack))
+	}
+
+	// The process survived: a healthy request still answers.
+	code, _ = post(t, ts.URL+"/v1/eval", quickEval())
+	if code != http.StatusOK {
+		t.Errorf("healthy request after panic = %d, want 200", code)
+	}
+}
+
+// TestEvalHangTimesOut504 asserts a hung evaluation is bounded by
+// timeout_ms and reported as a gateway timeout, not served stale or hung.
+func TestEvalHangTimesOut504(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	start := time.Now()
+	code, m := post(t, ts.URL+"/v1/eval",
+		map[string]any{"design": "fault-hang", "workload": "vectoradd", "budget": 100000, "timeout_ms": 20})
+	if code != http.StatusGatewayTimeout || errKind(t, m) != "timeout" {
+		t.Fatalf("status = %d kind=%q, want 504/timeout", code, errKind(t, m))
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("hung request held for %v; deadline did not propagate", e)
+	}
+}
+
+// TestShedding asserts the bounded-queue gate: with one slot and a
+// one-deep queue held by hung requests, the next request sheds 429
+// immediately instead of queueing unboundedly.
+func TestShedding(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1})
+
+	// Occupy the slot and the queue with hung evaluations (server-side
+	// timeout keeps them bounded so the test always drains).
+	hang := map[string]any{"design": "fault-hang", "workload": "vectoradd",
+		"budget": 100000, "timeout_ms": 800}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(t, ts.URL+"/v1/eval", hang)
+		}()
+	}
+	// Wait until both are admitted (1 in flight, 1 waiting).
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.waiting.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.waiting.Load() < 1 {
+		t.Fatal("queue never filled")
+	}
+
+	code, m := post(t, ts.URL+"/v1/eval", quickEval())
+	if code != http.StatusTooManyRequests || errKind(t, m) != "overloaded" {
+		t.Errorf("status = %d kind=%q, want 429/overloaded", code, errKind(t, m))
+	}
+	if srv.shed429.Load() == 0 {
+		t.Error("shed counter not incremented")
+	}
+	wg.Wait()
+}
+
+// TestDrain asserts the shutdown contract: after BeginDrain new work sheds
+// 503 (and healthz flips), in-flight work finishes, and Drain returns.
+func TestDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	started := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		close(started)
+		code, _ := post(t, ts.URL+"/v1/eval", quickEval())
+		done <- code
+	}()
+	<-started
+
+	srv.BeginDrain()
+
+	code, m := post(t, ts.URL+"/v1/eval", quickEval())
+	if code != http.StatusServiceUnavailable || errKind(t, m) != "draining" {
+		t.Errorf("post-drain eval = %d kind=%q, want 503/draining", code, errKind(t, m))
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The in-flight request must have completed normally (200) or been
+	// shed (503) if it lost the race to admission — never abandoned.
+	select {
+	case code := <-done:
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("in-flight request finished with %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("in-flight request abandoned after drain")
+	}
+}
+
+// TestExperimentEndpoint regenerates a paper artifact over HTTP and spot
+// checks the rendered table.
+func TestExperimentEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := newTestServer(t, Config{})
+	code, m := post(t, ts.URL+"/v1/experiment",
+		map[string]any{"id": "figure9", "quick": true, "workloads": []string{"vectoradd"}})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%v)", code, m)
+	}
+	var r ExperimentResponse
+	full, _ := json.Marshal(m)
+	if err := json.Unmarshal(full, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "figure9" || len(r.Rows) == 0 || !strings.Contains(r.Text, "vectoradd") {
+		t.Errorf("implausible experiment response: id=%q rows=%d", r.ID, len(r.Rows))
+	}
+
+	code, m = post(t, ts.URL+"/v1/experiment", map[string]any{"id": "nosuch"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown experiment = %d (%v), want 400", code, m)
+	}
+}
+
+// TestMetaExposesStoreCounters asserts /v1/meta reflects the persistent
+// store: puts after a miss, hits after a restart.
+func TestMetaExposesStoreCounters(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *exp.Engine {
+		s, err := store.Open(dir, store.Options{Version: exp.StoreVersion()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp.NewEngineWithStore(s)
+	}
+
+	getMeta := func(ts *httptest.Server) MetaResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var meta MetaResponse
+		if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+			t.Fatal(err)
+		}
+		return meta
+	}
+
+	_, ts1 := newTestServer(t, Config{Engine: open()})
+	if code, m := post(t, ts1.URL+"/v1/eval", quickEval()); code != http.StatusOK {
+		t.Fatalf("eval = %d (%v)", code, m)
+	}
+	meta := getMeta(ts1)
+	if meta.Sims != 1 || meta.Store == nil || meta.Store.Puts != 1 {
+		t.Fatalf("cold meta: sims=%d store=%+v, want 1 sim / 1 put", meta.Sims, meta.Store)
+	}
+	if len(meta.Designs) == 0 || len(meta.Workloads) == 0 || len(meta.Experiments) == 0 {
+		t.Error("meta missing registry listings")
+	}
+	for _, d := range meta.Designs {
+		if strings.HasPrefix(d, "fault-") {
+			t.Errorf("hidden fault design %q leaked into meta listing", d)
+		}
+	}
+
+	// Restart: same directory, fresh engine — served from disk, zero sims.
+	_, ts2 := newTestServer(t, Config{Engine: open()})
+	if code, m := post(t, ts2.URL+"/v1/eval", quickEval()); code != http.StatusOK {
+		t.Fatalf("restart eval = %d (%v)", code, m)
+	}
+	meta = getMeta(ts2)
+	if meta.Sims != 0 || meta.StoreHits != 1 {
+		t.Errorf("restart meta: sims=%d storeHits=%d, want 0/1", meta.Sims, meta.StoreHits)
+	}
+}
+
+// TestServerRecoversFromOnDiskCorruption asserts the full stack heals a
+// corrupted record: quarantine, recompute, correct answer, counter visible.
+func TestServerRecoversFromOnDiskCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.Open(dir, store.Options{Version: exp.StoreVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := exp.NewEngineWithStore(s1)
+	_, ts1 := newTestServer(t, Config{Engine: eng1})
+	code, m1 := post(t, ts1.URL+"/v1/eval", quickEval())
+	if code != http.StatusOK {
+		t.Fatalf("eval = %d", code)
+	}
+
+	// Corrupt the one record on disk (flip a payload byte).
+	key := recordPathOfOnlyEntry(t, s1)
+	data, err := os.ReadFile(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(key, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir, store.Options{Version: exp.StoreVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := exp.NewEngineWithStore(s2)
+	_, ts2 := newTestServer(t, Config{Engine: eng2})
+	code, m2 := post(t, ts2.URL+"/v1/eval", quickEval())
+	if code != http.StatusOK {
+		t.Fatalf("eval after corruption = %d, want 200 (recompute)", code)
+	}
+	b1, _ := json.Marshal(m1)
+	b2, _ := json.Marshal(m2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("recomputed response differs from original:\n%s\nvs\n%s", b1, b2)
+	}
+	if s2.Quarantined() != 1 || eng2.Sims() != 1 {
+		t.Errorf("quarantined=%d sims=%d, want 1/1", s2.Quarantined(), eng2.Sims())
+	}
+}
+
+// recordPathOfOnlyEntry walks the store's shard dirs and returns the single
+// .rec file, failing if there is not exactly one.
+func recordPathOfOnlyEntry(t *testing.T, s *store.Store) string {
+	t.Helper()
+	var recs []string
+	shards, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || sh.Name() == "tmp" || sh.Name() == "quarantine" {
+			continue
+		}
+		ents, err := os.ReadDir(fmt.Sprintf("%s/%s", s.Dir(), sh.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			recs = append(recs, fmt.Sprintf("%s/%s/%s", s.Dir(), sh.Name(), e.Name()))
+		}
+	}
+	if len(recs) != 1 {
+		t.Fatalf("store has %d records, want exactly 1: %v", len(recs), recs)
+	}
+	return recs[0]
+}

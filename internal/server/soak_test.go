@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"ltrf/internal/exp"
+	"ltrf/internal/load"
+	"ltrf/internal/store"
+)
+
+// TestSoakMixedLoad drives the server with the load generator's seeded
+// hit/miss/cancel mix — the same harness cmd/ltrf-load ships — and asserts
+// the service invariants that matter under churn:
+//
+//   - no request is lost: every outcome is classified, OK+shed+cancelled+
+//     truncated+failed == requests;
+//   - nothing fails outright: cancellations and shedding are expected
+//     outcomes, 5xx on healthy points are not;
+//   - no goroutine leak: cancelled-mid-simulation requests must release
+//     their evaluation goroutines (measured after a settle window);
+//   - the store stays consistent: counters visible, nothing quarantined.
+func TestSoakMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{Version: exp.StoreVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exp.NewEngineWithStore(st)
+	// A deep queue so the whole stream is served rather than shed even on a
+	// race-slowed runner — TestShedding exercises the shedding path
+	// deliberately; the soak is about churn on the serving path.
+	srv, err := New(Config{Engine: eng, MaxQueue: 256, DefaultTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+
+	stats, err := load.Run(context.Background(), load.Config{
+		BaseURL:    ts.URL,
+		Client:     ts.Client(),
+		Requests:   96,
+		Workers:    12,
+		CancelFrac: 0.15,
+		Quick:      true,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %v", stats)
+
+	if got := stats.OK + stats.Truncated + stats.Shed + stats.Cancelled + stats.Failed; got != stats.Requests {
+		t.Errorf("outcomes %d != requests %d (a request was lost)", got, stats.Requests)
+	}
+	if stats.Failed > 0 {
+		t.Errorf("%d requests failed outright (status mix %v)", stats.Failed, stats.ByStatus)
+	}
+	if stats.OK == 0 {
+		t.Error("soak produced zero successful evaluations")
+	}
+	if st.Quarantined() != 0 {
+		t.Errorf("soak quarantined %d records on a healthy disk", st.Quarantined())
+	}
+
+	// Leak check: cancelled evaluations stop inside the simulator's advance
+	// loop, so after a settle window the goroutine count returns to (about)
+	// the baseline. Idle keep-alive connections are closed each iteration —
+	// their readLoop/writeLoop goroutines are pool bookkeeping, not leaks.
+	// The slack absorbs runtime/net scheduler noise; a leak of one goroutine
+	// per cancelled request (~14 here) blows well past it.
+	transport, _ := ts.Client().Transport.(*http.Transport)
+	deadline := time.Now().Add(5 * time.Second)
+	var after int
+	for {
+		if transport != nil {
+			transport.CloseIdleConnections()
+		}
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after > before+5 {
+		t.Errorf("goroutines: %d before, %d after soak — leak", before, after)
+	}
+}

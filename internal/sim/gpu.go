@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 
 	"ltrf/internal/isa"
@@ -67,6 +68,14 @@ func (r *GPUResult) ChipEvents() power.ChipEvents {
 // slice of the grid: warp identities are offset per SM so memory streams
 // differ, exactly like a grid-strided launch.
 func RunGPU(c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
+	return RunGPUCtx(context.Background(), c, nSMs, virtual)
+}
+
+// RunGPUCtx is RunGPU under a cancellation context: the lockstep loop polls
+// ctx.Done() on the same coarse cadence as the single-SM advance loop and
+// returns ctx.Err() when it fires. Uncancelled runs are byte-identical to
+// RunGPU.
+func RunGPUCtx(ctx context.Context, c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,7 +123,23 @@ func RunGPU(c Config, nSMs int, virtual *isa.Program) (*GPUResult, error) {
 	fastForward := !c.ForceCycleAccurate
 	passed := make([]bool, nSMs)
 	idles := make([]bool, nSMs)
+	done := ctx.Done()
+	var iters int64
 	for {
+		if done != nil {
+			iters++
+			if iters&cancelCheckMask == 0 {
+				select {
+				case <-done:
+					for _, sm := range sms {
+						sm.mem.Release()
+					}
+					l2.Release()
+					return nil, ctx.Err()
+				default:
+				}
+			}
+		}
 		progress := false
 		allIdle := true
 		minNext := int64(math.MaxInt64)

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
 	"ltrf/internal/memsys"
@@ -134,7 +136,15 @@ func buildSubsystem(c *Config, prog *isa.Program, part *core.Partition, shared *
 // The kernel may use virtual registers; Run performs the maxregcount-style
 // allocation for the configuration's register file capacity.
 func Run(c Config, virtual *isa.Program) (*Result, error) {
-	return RunWithCache(c, virtual, nil)
+	return RunWithCacheCtx(context.Background(), c, virtual, nil)
+}
+
+// RunCtx is Run under a cancellation context: the advance loop polls
+// ctx.Done() every cancelCheckMask+1 passes and returns ctx.Err() (wrapped
+// with the cycle/instruction position) when it fires. An uncancelled RunCtx
+// is byte-identical to Run — the poll reads no simulation state.
+func RunCtx(ctx context.Context, c Config, virtual *isa.Program) (*Result, error) {
+	return RunWithCacheCtx(ctx, c, virtual, nil)
 }
 
 // RunWithCache is Run with a compile cache: the kernel's allocation and
@@ -142,6 +152,11 @@ func Run(c Config, virtual *isa.Program) (*Result, error) {
 // re-simulating the same kernel under many timing configurations compile it
 // once. The simulation itself is unaffected — results are identical to Run.
 func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, error) {
+	return RunWithCacheCtx(context.Background(), c, virtual, cc)
+}
+
+// RunWithCacheCtx is RunWithCache under a cancellation context (see RunCtx).
+func RunWithCacheCtx(ctx context.Context, c Config, virtual *isa.Program, cc *CompileCache) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,7 +191,12 @@ func RunWithCache(c Config, virtual *isa.Program, cc *CompileCache) (*Result, er
 	}
 
 	sm := newSM(&c, info.Prog, info.Part, rf, mem, warps, activeCap, 0)
-	st := sm.run()
+	sm.attachContext(ctx)
+	st, err := sm.run()
+	if err != nil {
+		mem.Release()
+		return nil, err
+	}
 	st.Warps = warps
 	st.RegsPerThread = info.Prog.RegCount()
 	st.SpilledRegs = info.Spills

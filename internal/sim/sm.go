@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"ltrf/internal/core"
@@ -69,6 +71,17 @@ type Stats struct {
 	PrefetchUnits int // units in the partition (0 when not applicable)
 	Finished      bool
 
+	// Truncated reports that the hard cycle stop (MaxCycles) fired before
+	// the run either finished its warps or reached the requested
+	// dynamic-instruction budget. Exhausting MaxInstrs is the NORMAL exit
+	// for budget-sampled experiment runs and does not set this; the cycle
+	// cap firing first means the run progressed at under MaxInstrs/MaxCycles
+	// IPC and its statistics cover less work than the caller asked for —
+	// serving layers must surface it instead of treating the stats as a
+	// full-budget sample (it is identical under both clock modes; the
+	// equivalence property covers it).
+	Truncated bool
+
 	deactByPC map[int]int64 // diagnostic: deactivations per blocking PC
 }
 
@@ -125,9 +138,62 @@ type SM struct {
 	// and holds it until its operand reads complete.
 	collectors []int64
 
+	// cancel is the simulation's cancellation signal (ctx.Done() of the
+	// context handed to RunCtx; nil when the caller supplied none). The run
+	// loop polls it every cancelCheckMask+1 passes — coarse-grained on
+	// purpose, so the uncancelled hot path costs one nil check per pass and
+	// the simulated results stay byte-identical whether or not a context is
+	// attached. ctx carries the matching context for the error.
+	cancel <-chan struct{}
+	ctx    context.Context
+	passes int64
+
 	barrierCount int
 
 	st Stats
+}
+
+// cancelCheckMask throttles the cancellation poll to one channel select per
+// 1024 issue passes: a pass costs well under a microsecond, so cancellation
+// is observed within roughly a millisecond of wall clock while the poll
+// stays invisible in profiles.
+const cancelCheckMask = 1024 - 1
+
+// attachContext arms the SM's cancellation signal. Background-like contexts
+// (Done() == nil) leave the SM in the zero, check-free configuration.
+func (sm *SM) attachContext(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	if done := ctx.Done(); done != nil {
+		sm.cancel = done
+		sm.ctx = ctx
+	}
+}
+
+// cancelled polls the cancellation signal (rate-limited by
+// cancelCheckMask). It never fires for SMs without an attached context.
+func (sm *SM) cancelled() bool {
+	if sm.cancel == nil {
+		return false
+	}
+	sm.passes++
+	if sm.passes&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-sm.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelErr builds the error a cancelled run returns; errors.Is sees the
+// underlying context.Canceled / context.DeadlineExceeded.
+func (sm *SM) cancelErr() error {
+	return fmt.Errorf("sim: run cancelled at cycle %d (%d instrs retired): %w",
+		sm.cycle, sm.instrs, sm.ctx.Err())
 }
 
 // newSM wires an SM together. nWarps warps all start inactive and ready.
@@ -176,9 +242,12 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 // identical results (see pass/nextEventCycle/advanceTo for why, and the
 // equivalence property suite for proof). Config.ForceCycleAccurate pins the
 // historical one-cycle-per-pass clock.
-func (sm *SM) run() Stats {
+func (sm *SM) run() (Stats, error) {
 	fastForward := !sm.cfg.ForceCycleAccurate
 	for sm.runnable() {
+		if sm.cancelled() {
+			return sm.st, sm.cancelErr()
+		}
 		idle := sm.pass()
 		next := sm.cycle + 1
 		if idle && fastForward {
@@ -186,7 +255,7 @@ func (sm *SM) run() Stats {
 		}
 		sm.advanceTo(next, idle)
 	}
-	return sm.finalize()
+	return sm.finalize(), nil
 }
 
 // runnable reports whether the SM can still make progress: budgets not
@@ -276,6 +345,11 @@ func (sm *SM) finalize() Stats {
 	sm.st.Mem.L2HitRate = sm.mem.L2.Stats.HitRate()
 	sm.st.Mem.DRAMRowHit = sm.mem.DRAM.RowHitRate()
 	sm.st.Finished = sm.allFinished()
+	// The cycle cap firing before the instruction budget is silent
+	// truncation — the stats cover less work than requested (see the field
+	// comment). Both clock modes compute this identically: nextEventCycle
+	// clamps to MaxCycles, so budget exhaustion lands on the same cycle.
+	sm.st.Truncated = !sm.st.Finished && sm.instrs < sm.cfg.MaxInstrs
 	if sm.part != nil {
 		sm.st.PrefetchUnits = sm.part.NumUnits()
 	}

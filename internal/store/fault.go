@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Faults is a composable Injector driven by function hooks; nil hooks
+// inject nothing, so tests set only the fault they exercise. The helper
+// constructors below cover the scripted faults the recovery suite uses
+// (torn writes, ENOSPC, transient flakes, byte corruption); bespoke
+// scenarios compose their own hooks.
+type Faults struct {
+	// OnRead, when non-nil, may fail a Get before the file is opened.
+	OnRead func(key string) error
+	// OnWrite, when non-nil, may fail a Put before any bytes are written.
+	OnWrite func(key string) error
+	// OnMutate, when non-nil, may alter the bytes that land on disk.
+	OnMutate func(key string, data []byte) []byte
+}
+
+var _ Injector = (*Faults)(nil)
+
+func (f *Faults) BeforeRead(key string) error {
+	if f == nil || f.OnRead == nil {
+		return nil
+	}
+	return f.OnRead(key)
+}
+
+func (f *Faults) BeforeWrite(key string) error {
+	if f == nil || f.OnWrite == nil {
+		return nil
+	}
+	return f.OnWrite(key)
+}
+
+func (f *Faults) MutateWrite(key string, data []byte) []byte {
+	if f == nil || f.OnMutate == nil {
+		return nil
+	}
+	return f.OnMutate(key, data)
+}
+
+// Countdown returns a hook that fails its first n calls with err and then
+// succeeds forever — the shape of a transient flake (wrap ErrTransient to
+// make the store retry through it) or a bounded outage.
+func Countdown(n int64, err error) func(string) error {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func(string) error {
+		if remaining.Add(-1) >= 0 {
+			return err
+		}
+		return nil
+	}
+}
+
+// TransientErr wraps err so IsTransient reports true (the store's retry
+// loop then absorbs it, up to the policy's attempt budget).
+func TransientErr(err error) error {
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// ENOSPCAlways returns a write hook that persistently fails with ENOSPC —
+// a full disk. ENOSPC is NOT transient: the store surfaces it after one
+// attempt and the caller degrades to compute-without-persist.
+func ENOSPCAlways() func(string) error {
+	return func(string) error { return syscall.ENOSPC }
+}
+
+// TornWrites returns a mutate hook that truncates the first n writes to
+// half their length — the classic torn write. Because the checksum header
+// is computed before mutation, a torn entry fails verification on read and
+// is quarantined.
+func TornWrites(n int64) func(string, []byte) []byte {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func(_ string, data []byte) []byte {
+		if remaining.Add(-1) >= 0 {
+			return data[:len(data)/2]
+		}
+		return nil
+	}
+}
+
+// CorruptWrites returns a mutate hook that flips one payload byte in the
+// first n writes — silent bit rot caught only by the checksum.
+func CorruptWrites(n int64) func(string, []byte) []byte {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func(_ string, data []byte) []byte {
+		if remaining.Add(-1) < 0 {
+			return nil
+		}
+		out := append([]byte(nil), data...)
+		out[len(out)-1] ^= 0xFF
+		return out
+	}
+}
+
+// KeyRecorder is a read/write hook that records every key it sees (test
+// observability: which entries a scenario touched, in arrival order).
+type KeyRecorder struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// Hook returns a hook that records the key and injects nothing.
+func (r *KeyRecorder) Hook() func(string) error {
+	return func(key string) error {
+		r.mu.Lock()
+		r.keys = append(r.keys, key)
+		r.mu.Unlock()
+		return nil
+	}
+}
+
+// Keys returns a snapshot of the recorded keys.
+func (r *KeyRecorder) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.keys...)
+}

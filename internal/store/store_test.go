@@ -1,0 +1,230 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Version: "v1"})
+	want := []byte(`{"answer":42}`)
+	if err := s.Put("point-a", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("point-a")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("payload mismatch: got %q want %q", got, want)
+	}
+	if s.Hits() != 1 || s.Puts() != 1 {
+		t.Fatalf("counters: hits=%d puts=%d", s.Hits(), s.Puts())
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Version: "v1"})
+	if _, err := s.Get("never-stored"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get miss: got %v, want ErrNotFound", err)
+	}
+	if s.Misses() != 1 {
+		t.Fatalf("misses=%d, want 1", s.Misses())
+	}
+}
+
+func TestRestartServesPriorEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{Version: "v1"})
+	if err := s1.Put("k", []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// A "crash" leaves garbage in tmp/ but never a half-written entry at an
+	// addressable path; reopening must serve the committed entry and ignore
+	// the debris.
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "put-crash"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{Version: "v1"})
+	got, err := s2.Get("k")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get after restart: %q, %v", got, err)
+	}
+}
+
+func TestVersionChangeMisses(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{Version: "v1"})
+	if err := s1.Put("k", []byte("old-schema")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, Options{Version: "v2"})
+	if _, err := s2.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get under new version: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestOnDiskCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Version: "v1"})
+	if err := s.Put("k", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in place — bit rot the checksum must catch.
+	path := s.Path("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get corrupt: got %v, want ErrCorrupt", err)
+	}
+	if s.Quarantined() != 1 {
+		t.Fatalf("quarantined=%d, want 1", s.Quarantined())
+	}
+	// The specimen is preserved for post-mortem...
+	ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(ents), err)
+	}
+	// ...the address is recomputable (plain miss now)...
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine: got %v, want ErrNotFound", err)
+	}
+	// ...and a fresh Put fully heals the entry.
+	if err := s.Put("k", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "recomputed" {
+		t.Fatalf("Get after heal: %q, %v", got, err)
+	}
+}
+
+func TestTornWriteQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Version: "v1", Injector: &Faults{OnMutate: TornWrites(1)}})
+	if err := s.Put("k", []byte("will-be-torn")); err != nil {
+		t.Fatalf("Put: %v", err) // the tear is silent, like a real torn write
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get torn: got %v, want ErrCorrupt", err)
+	}
+	// Second write is untorn; the entry recovers.
+	if err := s.Put("k", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("k"); err != nil || string(got) != "intact" {
+		t.Fatalf("Get after rewrite: %q, %v", got, err)
+	}
+}
+
+func TestCorruptWriteQuarantinedOnRead(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Version: "v1", Injector: &Faults{OnMutate: CorruptWrites(1)}})
+	if err := s.Put("k", []byte("bits")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get corrupted: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestENOSPCSurfacesWithoutRetryStorm(t *testing.T) {
+	s := open(t, t.TempDir(), Options{
+		Version:  "v1",
+		Injector: &Faults{OnWrite: ENOSPCAlways()},
+		Retry:    RetryPolicy{Attempts: 5, Base: time.Millisecond, Max: time.Millisecond},
+	})
+	err := s.Put("k", []byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put on full disk: got %v, want ENOSPC", err)
+	}
+	// ENOSPC is not transient: no retries were burned on it.
+	if s.Retries() != 0 {
+		t.Fatalf("retries=%d, want 0 for non-transient error", s.Retries())
+	}
+}
+
+func TestTransientWriteRetried(t *testing.T) {
+	s := open(t, t.TempDir(), Options{
+		Version:  "v1",
+		Injector: &Faults{OnWrite: Countdown(2, TransientErr(errors.New("flaky disk")))},
+		Retry:    RetryPolicy{Attempts: 4, Base: time.Microsecond, Max: time.Microsecond},
+	})
+	if err := s.Put("k", []byte("x")); err != nil {
+		t.Fatalf("Put through transient flake: %v", err)
+	}
+	if s.Retries() != 2 {
+		t.Fatalf("retries=%d, want 2", s.Retries())
+	}
+	if got, err := s.Get("k"); err != nil || string(got) != "x" {
+		t.Fatalf("Get: %q, %v", got, err)
+	}
+}
+
+func TestTransientBudgetExhausted(t *testing.T) {
+	inner := errors.New("flaky disk")
+	s := open(t, t.TempDir(), Options{
+		Version:  "v1",
+		Injector: &Faults{OnWrite: Countdown(100, TransientErr(inner))},
+		Retry:    RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: time.Microsecond},
+	})
+	if err := s.Put("k", []byte("x")); !errors.Is(err, inner) {
+		t.Fatalf("Put: got %v, want wrapped %v after budget exhausted", err, inner)
+	}
+	if s.Retries() != 2 {
+		t.Fatalf("retries=%d, want 2 (attempts-1)", s.Retries())
+	}
+}
+
+func TestHeaderGarbageQuarantines(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Version: "v1"})
+	if err := s.Put("k", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	for name, junk := range map[string][]byte{
+		"no-newline":  []byte("ltrf-store/1 deadbeef"),
+		"wrong-magic": []byte("other-store/9 00\npayload"),
+		"bad-hex":     []byte("ltrf-store/1 zz\npayload"),
+		"empty":       {},
+	} {
+		if err := os.WriteFile(s.Path("k"), junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: got %v, want ErrCorrupt", name, err)
+		}
+		if err := s.Put("k", []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKeyRecorder(t *testing.T) {
+	rec := &KeyRecorder{}
+	s := open(t, t.TempDir(), Options{Version: "v1", Injector: &Faults{OnRead: rec.Hook()}})
+	s.Get("a") //nolint:errcheck
+	s.Get("b") //nolint:errcheck
+	keys := rec.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("recorded keys: %v", keys)
+	}
+}

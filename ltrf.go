@@ -30,6 +30,7 @@
 package ltrf
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -41,6 +42,7 @@ import (
 	"ltrf/internal/regalloc"
 	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
+	"ltrf/internal/store"
 	"ltrf/internal/workloads"
 )
 
@@ -298,11 +300,19 @@ func (o SimOptions) config() (sim.Config, error) {
 // Simulate runs a kernel (virtual or allocated registers) on the simulated
 // GPU under the selected register-file design.
 func Simulate(o SimOptions, kernel *Program) (*SimResult, error) {
+	return SimulateContext(context.Background(), o, kernel)
+}
+
+// SimulateContext is Simulate under a cancellation context: the simulator's
+// advance loop polls ctx.Done() on a coarse cadence and returns ctx.Err()
+// when it fires, so deadlines and interrupts stop simulations instead of
+// leaking them. An uncancelled run is byte-identical to Simulate.
+func SimulateContext(ctx context.Context, o SimOptions, kernel *Program) (*SimResult, error) {
 	c, err := o.config()
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(c, kernel)
+	return sim.RunCtx(ctx, c, kernel)
 }
 
 // SimulateGPU runs a kernel on numSMs streaming multiprocessors stepped in
@@ -358,6 +368,20 @@ type ExperimentEngine = exp.Engine
 // callers who want to isolate or bound the memo instead of sharing the
 // process-wide one.
 func NewExperimentEngine() *ExperimentEngine { return exp.NewEngine() }
+
+// NewPersistentExperimentEngine returns an engine whose results additionally
+// persist in a crash-safe content-addressed store rooted at dir: entries
+// survive process restarts and are served without re-simulation, writes are
+// atomic, and corrupt entries are quarantined and recomputed. The store's
+// entry addresses fold in the result-schema version, so a binary with a
+// different schema misses cleanly instead of decoding stale bytes.
+func NewPersistentExperimentEngine(dir string) (*ExperimentEngine, error) {
+	s, err := store.Open(dir, store.Options{Version: exp.StoreVersion()})
+	if err != nil {
+		return nil, err
+	}
+	return exp.NewEngineWithStore(s), nil
+}
 
 // Experiments lists every table/figure driver in paper order.
 func Experiments() []Experiment { return exp.Registry() }
