@@ -12,6 +12,7 @@
 package ltrf_test
 
 import (
+	"context"
 	"testing"
 
 	"ltrf"
@@ -175,6 +176,21 @@ func BenchmarkSimulatorThroughputCycleAccurate(b *testing.B) {
 	benchThroughput(b, ltrf.SimOptions{Design: ltrf.BL, TechConfig: 7, LatencyX: 6.3, MaxInstrs: 30000, ForceCycleAccurate: true}, "sgemm")
 }
 
+// BenchmarkSimulatorThroughputLowLatency measures the opposite regime from
+// the high-latency points: BL at the baseline technology (Table 2 config #1)
+// with no latency multiplier, where almost every cycle has SOME warp
+// issuing, so the event-driven clock finds few dead spans to skip and the
+// per-pass issue scan itself dominates. This is the point the indexed
+// ready-warp scan (PR 7) targets: a pass costs O(issued + events), not
+// O(active warps).
+func BenchmarkSimulatorThroughputLowLatency(b *testing.B) {
+	benchThroughput(b, ltrf.SimOptions{Design: ltrf.BL, TechConfig: 1, LatencyX: 1.0, MaxInstrs: 30000}, "sgemm")
+}
+
+// benchThroughput measures simulation throughput with the kernel compiled
+// once through a SimCache, so the number is the simulator's and not the
+// compiler's (BenchmarkCompile and ltrf-bench's `compile` entry measure
+// that pipeline on its own).
 func benchThroughput(b *testing.B, o ltrf.SimOptions, workload string) {
 	b.Helper()
 	w, err := ltrf.WorkloadByName(workload)
@@ -182,10 +198,15 @@ func benchThroughput(b *testing.B, o ltrf.SimOptions, workload string) {
 		b.Fatal(err)
 	}
 	kernel := w.Build(3)
+	cache := ltrf.NewSimCache()
+	ctx := context.Background()
+	if _, err := ltrf.SimulateCached(ctx, cache, o, kernel); err != nil {
+		b.Fatal(err)
+	}
 	var instrs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ltrf.Simulate(o, kernel)
+		res, err := ltrf.SimulateCached(ctx, cache, o, kernel)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -26,6 +26,10 @@
 //   - sim_bl_tech7_hi:     BL (no prefetching) at the same point: warps
 //     stall on every slow main-RF read, the regime with the most dead
 //     cycles (the ≥3x acceptance point of PR 5)
+//   - sim_bl_tech1_low:    BL at the baseline technology point, 1x latency —
+//     the low-latency regime where few cycles are dead and the issue scan
+//     itself dominates (the ≥1.5x acceptance point of PR 7's indexed
+//     ready-warp scan)
 //   - sim_tech7_hi_cycle_accurate: the same configuration under
 //     Config.ForceCycleAccurate, measuring the fast-forward win itself
 //   - exp_quick:           the experiment engine end to end (table1 +
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,7 +73,10 @@ type Bench struct {
 }
 
 // simBench measures one simulation configuration, reporting simulated
-// instructions per second alongside the go-bench numbers.
+// instructions per second alongside the go-bench numbers. The kernel is
+// compiled once through a SimCache before the timed region, so the number
+// is the simulator's and not the compiler's (the `compile` entry measures
+// that pipeline on its own).
 func simBench(name, workload string, o ltrf.SimOptions) func() (Bench, error) {
 	return func() (Bench, error) {
 		w, err := ltrf.WorkloadByName(workload)
@@ -79,12 +87,17 @@ func simBench(name, workload string, o ltrf.SimOptions) func() (Bench, error) {
 		if o.MaxInstrs == 0 {
 			o.MaxInstrs = 30000
 		}
+		cache := ltrf.NewSimCache()
+		ctx := context.Background()
+		if _, err := ltrf.SimulateCached(ctx, cache, o, kernel); err != nil {
+			return Bench{}, err
+		}
 		var instrs int64
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			instrs = 0
 			for i := 0; i < b.N; i++ {
-				res, err := ltrf.Simulate(o, kernel)
+				res, err := ltrf.SimulateCached(ctx, cache, o, kernel)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -172,6 +185,7 @@ func main() {
 		{"sim_lat2", simBench("sim_lat2", "hotspot", ltrf.SimOptions{Design: ltrf.LTRF, LatencyX: 2})},
 		{"sim_tech7_hi", simBench("sim_tech7_hi", "hotspot", ltrf.SimOptions{Design: ltrf.LTRF, TechConfig: 7, LatencyX: 6.3})},
 		{"sim_bl_tech7_hi", simBench("sim_bl_tech7_hi", "sgemm", ltrf.SimOptions{Design: ltrf.BL, TechConfig: 7, LatencyX: 6.3})},
+		{"sim_bl_tech1_low", simBench("sim_bl_tech1_low", "sgemm", ltrf.SimOptions{Design: ltrf.BL, TechConfig: 1, LatencyX: 1.0})},
 		{"sim_tech7_hi_cycle_accurate", simBench("sim_tech7_hi_cycle_accurate", "hotspot", ltrf.SimOptions{Design: ltrf.LTRF, TechConfig: 7, LatencyX: 6.3, ForceCycleAccurate: true})},
 		{"exp_quick", expBench("exp_quick", []string{"table1", "figure11"})},
 		{"compile", compileBench("compile")},

@@ -141,6 +141,78 @@ func TestEngineErrorsAreDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunBatchKernelBatching pins the kernel-batched dispatch's compile
+// economy: a cold multi-kernel, multi-config sweep through RunBatch must run
+// the allocation pipeline exactly once per distinct (kernel, regCap) — the
+// expected set computed independently via each point's occupancy decision —
+// and a warm re-dispatch must compile and simulate nothing new.
+func TestRunBatchKernelBatching(t *testing.T) {
+	o := Options{
+		Quick:       true,
+		Workloads:   []string{"sgemm", "btree", "stencil"},
+		Parallelism: 8,
+		Engine:      NewEngine(),
+	}
+	eng := o.Engine
+
+	var pts []Point
+	for _, wl := range o.Workloads {
+		for _, d := range []sim.Design{sim.DesignBL, sim.DesignLTRF, sim.DesignRFC} {
+			for _, tech := range []int{1, 7} {
+				for _, lx := range []float64{1, 2, 6.3} {
+					pts = append(pts, o.point(d, tech, lx, wl))
+				}
+			}
+		}
+	}
+
+	// Expected compiles: one per distinct (kernel, regCap) over the sweep,
+	// derived from the same occupancy decision evaluation makes.
+	type allocID struct {
+		workload string
+		regCap   int
+	}
+	want := map[allocID]bool{}
+	for _, p := range pts {
+		virt, err := eng.virtual(p.Workload, p.Unroll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand, err := eng.Pressure(p.Workload, p.Unroll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		regCap, _, _, err := c.ResolveOccupancy(demand, virt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[allocID{p.Workload, regCap}] = true
+	}
+
+	eng.RunBatch(o.ctx(), o, pts)
+	if err := eng.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Compiles(); got != int64(len(want)) {
+		t.Errorf("cold batch ran %d allocation pipelines, want %d (one per distinct kernel+regCap)",
+			got, len(want))
+	}
+
+	// Warm re-dispatch: everything memoized, nothing compiles or simulates.
+	sims := eng.Sims()
+	eng.RunBatch(o.ctx(), o, pts)
+	if got := eng.Compiles(); got != int64(len(want)) {
+		t.Errorf("warm re-dispatch compiled %d new kernels, want 0", got-int64(len(want)))
+	}
+	if got := eng.Sims(); got != sims {
+		t.Errorf("warm re-dispatch simulated %d new points, want 0", got-sims)
+	}
+}
+
 // runRegistry regenerates every experiment once on the given options.
 func runRegistry(b *testing.B, o Options) {
 	b.Helper()

@@ -73,7 +73,14 @@ func (b *BankSet) Utilization(now int64) float64 {
 
 // mainBank maps (warp, register) to a main-RF bank. Registers of one warp
 // interleave across banks; different warps start at rotated offsets so
-// register 0 of every warp does not collide on bank 0.
+// register 0 of every warp does not collide on bank 0. Bank counts are
+// powers of two in every shipped configuration, so the reduction is a mask
+// there — this runs once per operand of every issued instruction, and the
+// integer division shows up in profiles.
 func mainBank(nBanks, warpID int, reg int) int {
-	return (reg + warpID*7) % nBanks
+	h := reg + warpID*7
+	if nBanks&(nBanks-1) == 0 {
+		return h & (nBanks - 1)
+	}
+	return h % nBanks
 }

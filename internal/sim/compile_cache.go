@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ltrf/internal/cfg"
 	"ltrf/internal/core"
@@ -30,6 +31,20 @@ type CompileCache struct {
 	pressure map[*isa.Program]*pressureEntry
 	allocs   map[allocKey]*allocEntry
 	parts    map[partKey]*partEntry
+
+	compiles atomic.Int64 // allocation pipelines actually executed (misses)
+}
+
+// Compiles reports how many allocation pipelines (allocateAnnotated: the
+// expensive register-allocation + CFG + liveness step) this cache has
+// actually executed — i.e. (kernel, regCap) misses. Sweep schedulers are
+// tested against it: a batched multi-kernel sweep must compile each
+// distinct (kernel, regCap) at most once.
+func (cc *CompileCache) Compiles() int64 {
+	if cc == nil {
+		return 0
+	}
+	return cc.compiles.Load()
 }
 
 // NewCompileCache returns an empty compile cache.
@@ -105,6 +120,7 @@ func (cc *CompileCache) Allocate(virtual *isa.Program, regCap int) (*isa.Program
 	}
 	cc.mu.Unlock()
 	e.once.Do(func() {
+		cc.compiles.Add(1)
 		e.prog, e.spills, e.err = allocateAnnotated(virtual, regCap)
 	})
 	return e.prog, e.spills, e.err

@@ -116,14 +116,16 @@ type Config struct {
 	// FlatScheduler disables two-level scheduling, making all resident
 	// warps schedulable (ablation; BL and Ideal use this implicitly).
 	FlatScheduler bool
-	// ForceCycleAccurate pins the simulator's historical one-cycle-per-pass
-	// clock instead of the event-driven fast-forward that jumps the dead
-	// spans in which no warp can issue (the bulk of wall-clock at the high
-	// main-RF latencies LTRF targets). The two modes produce IDENTICAL
-	// results — every Stats field, asserted by the equivalence property
-	// suite — so this is an escape hatch for debugging the scheduler
-	// cycle-by-cycle and for measuring the fast-forward speedup itself, not
-	// a fidelity knob.
+	// ForceCycleAccurate pins the simulator's historical reference stack:
+	// the one-cycle-per-pass clock instead of the event-driven fast-forward
+	// that jumps the dead spans in which no warp can issue, AND the linear
+	// issue scan that examines every active warp each pass instead of the
+	// indexed ready-ring scan (ring.go) that walks only armed warps. The
+	// two stacks produce IDENTICAL results — every Stats field, asserted by
+	// the equivalence property suite and fuzzed by
+	// FuzzIndexedScanEquivalence — so this is an escape hatch for debugging
+	// the scheduler cycle-by-cycle and for measuring the speedup itself,
+	// not a fidelity knob.
 	ForceCycleAccurate bool
 	// TrackDeactPCs records per-PC deactivation counts (diagnostic; costs a
 	// map update on the deactivation path, so it is off by default).

@@ -80,9 +80,12 @@ func TestIssueCycleSteadyStateAllocationFree(t *testing.T) {
 		}
 	}
 	allocs := testing.AllocsPerRun(500, func() {
-		sm.refillActive()
-		sm.issueCycle()
-		sm.cycle++
+		// Full steps, not bare refill+issueCycle: the indexed scan's ring
+		// only re-arms wheel-parked warps when advanceTo merges due buckets,
+		// so stepping is what keeps this measuring the live issue path.
+		if !sm.step() {
+			t.Fatal("kernel finished mid-measurement; enlarge the loop")
+		}
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state issue cycle allocates %.2f times per cycle, want 0", allocs)

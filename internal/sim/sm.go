@@ -138,6 +138,15 @@ type SM struct {
 	// and holds it until its operand reads complete.
 	collectors []int64
 
+	// indexed selects the indexed issue scan (ring.go): passes walk only
+	// warps that can plausibly act instead of the whole active set. It is
+	// pinned off — along with the event-driven clock — by
+	// Config.ForceCycleAccurate, which thereby preserves the historical
+	// linear scan (issueCycleScan) as the reference the equivalence and
+	// differential suites compare against.
+	indexed bool
+	ring    readyRing
+
 	// cancel is the simulation's cancellation signal (ctx.Done() of the
 	// context handed to RunCtx; nil when the caller supplied none). The run
 	// loop polls it every cancelCheckMask+1 passes — coarse-grained on
@@ -205,12 +214,14 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 		cfg: cfg, prog: prog, meta: meta, part: part, rf: rf, mem: mem,
 		activeCap:  activeCap,
 		collectors: make([]int64, cfg.Collectors),
+		indexed:    !cfg.ForceCycleAccurate,
 	}
 	nregs := prog.RegCount()
 	if nregs == 0 {
 		nregs = 1
 	}
 	sm.wake.init(nWarps)
+	sm.ring.init(nWarps)
 	// Contiguous warp contexts and pooled scoreboard arrays: the issue scan
 	// dereferences warp state every pass, and quick experiment sweeps build
 	// thousands of short-lived SMs, so both locality and allocation count
@@ -288,6 +299,12 @@ func (sm *SM) step() bool {
 // nextEventCycle() is provably a no-op too. That is the invariant that
 // makes clock-jumping byte-identical.
 func (sm *SM) pass() (idle bool) {
+	if sm.indexed {
+		// Re-arm every parked warp whose wake cycle has arrived, so the
+		// indexed scan examines it on exactly the pass the linear scan's
+		// per-pass re-derivation would have let it through.
+		sm.ringWakeDue()
+	}
 	acts, deacts, stalls := sm.st.Activations, sm.st.Deactivations, sm.st.PrefetchStallCycles
 	sm.refillActive()
 	issued := sm.issueCycle()
@@ -326,10 +343,27 @@ func (sm *SM) advanceTo(t int64, idle bool) {
 		span := t - sm.cycle
 		sm.st.IdleCycles += span
 		if extra := span - 1; extra > 0 && len(sm.active) > 0 {
-			sm.rr = (sm.rr + int(extra%int64(len(sm.active)))) % len(sm.active)
+			// rr < len(active) here (every scan epilogue keeps it in range),
+			// so short spans — the common case — rotate with a compare
+			// instead of two integer divisions.
+			if n := len(sm.active); extra < int64(n) {
+				sm.rr += int(extra)
+				if sm.rr >= n {
+					sm.rr -= n
+				}
+			} else {
+				sm.rr = (sm.rr + int(extra%int64(n))) % n
+			}
 		}
 	}
+	old := sm.cycle
 	sm.cycle = t
+	if sm.indexed {
+		// Re-arm every wheel-parked warp whose wake cycle the clock just
+		// reached or passed — warps that issued on the pass that just ended
+		// (wake = old+1) and short blocks expiring anywhere in (old, t].
+		sm.ring.merge(old, t)
+	}
 }
 
 // finalize computes the result statistics.
@@ -381,18 +415,44 @@ func (sm *SM) refillActive() {
 			w.readyAt = ready
 		}
 		sm.st.Activations++
+		if sm.indexed {
+			w.slot = int32(len(sm.active))
+			if w.readyAt > sm.cycle {
+				// Activation refetch in flight: examinable at readyAt. No
+				// wakeAt — refill precedes the issue scan, which re-reads
+				// the index minimum into nextWake before consuming it.
+				w.wake = w.readyAt
+				sm.ring.park(w.readyAt, sm.cycle, int(w.slot), int32(w.local))
+			} else {
+				w.wake = sm.cycle
+				sm.ring.set(int(w.slot))
+			}
+		}
 		sm.active = append(sm.active, wid)
 	}
 }
 
-// issueCycle scans the active warps round-robin and issues up to IssueWidth
-// instructions, returning the issue count. Warps blocked on a long-latency
-// operand are descheduled (two-level scheduling); warps at prefetch-unit
-// boundaries execute their PREFETCH instead of issuing. Along the way it
-// maintains nextWake — the minimum over every blocked warp's wakeup time —
-// which costs a comparison per blocked warp here and saves the event-driven
-// clock a second scan.
+// issueCycle issues up to IssueWidth instructions from the active warps
+// under greedy-then-oldest round-robin arbitration, returning the issue
+// count. The indexed scan (ring.go) walks only warps that can plausibly
+// act; Config.ForceCycleAccurate pins the historical linear scan, which the
+// equivalence suite holds up as the reference for both the clock and the
+// index.
 func (sm *SM) issueCycle() int {
+	if sm.indexed {
+		return sm.issueCycleIndexed()
+	}
+	return sm.issueCycleScan()
+}
+
+// issueCycleScan is the linear reference scan: every active warp is
+// examined round-robin until IssueWidth instructions issue. Warps blocked
+// on a long-latency operand are descheduled (two-level scheduling); warps
+// at prefetch-unit boundaries execute their PREFETCH instead of issuing.
+// Along the way it maintains nextWake — the minimum over every blocked
+// warp's wakeup time — which costs a comparison per blocked warp here and
+// saves the event-driven clock a second scan.
+func (sm *SM) issueCycleScan() int {
 	sm.nextWake = int64(math.MaxInt64)
 	sm.collMin = 0
 	n := len(sm.active)
@@ -596,8 +656,13 @@ func (sm *SM) deactivate(w *Warp, blockedUntil int64) {
 // finished) while preserving the order of the remaining entries. Outside of
 // issueCycle every listed warp is stateActive, so compacting by state is
 // exactly equivalent to deleting the indices collected during the scan —
-// without allocating an index set per call.
+// without allocating an index set per call. In indexed mode the compaction
+// also rebuilds the ready-ring masks, since it shifts positions down.
 func (sm *SM) removeActive() {
+	if sm.indexed {
+		sm.removeActiveIndexed()
+		return
+	}
 	out := sm.active[:0]
 	for _, wid := range sm.active {
 		if sm.warps[wid].state == stateActive {

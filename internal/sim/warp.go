@@ -34,6 +34,24 @@ type Warp struct {
 
 	rng     uint64
 	retired int64
+
+	// Indexed-scan bookkeeping (ring.go; maintained only when the SM runs
+	// the indexed issue scan, and placed last so the linear reference
+	// scan's hot fields keep their cache layout): slot is the warp's
+	// current position in the active slice, wake the cycle at which the
+	// warp next needs to be examined — the key that decides, via the
+	// readyRing membership invariant, whether its position is armed,
+	// wheel-parked, or heap-parked.
+	slot int32
+	wake int64
+	// sbOK records that the warp's scoreboard is known satisfied for the
+	// current pc from cycle `wake` on: set when a scoreboard evaluation
+	// passes (or blocks with a fixed arrival the warp is parked until),
+	// cleared whenever the warp issues (its own writes and pc advance are
+	// the only things that change its scoreboard). Lets the indexed scan
+	// skip re-evaluating operandsReadyAt on wake — the evaluation the
+	// linear scan would run there is provably the one already done.
+	sbOK bool
 }
 
 // initWarp initializes a warp context in place. The scoreboard and counter

@@ -160,6 +160,17 @@ func (s *Store) Puts() int64        { return s.puts.Load() }
 func (s *Store) Quarantined() int64 { return s.quarantined.Load() }
 func (s *Store) Retries() int64     { return s.retries.Load() }
 
+// Has reports whether an entry for key exists on disk — a single stat of
+// its content address, with no payload read, no checksum verification, and
+// no hit/miss accounting. It is a planning hint, not a promise: a later Get
+// still decides whether the entry is actually usable (it may be corrupt and
+// get quarantined). Sweep planners use it to classify points as warm
+// without paying a read per point.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.Path(key))
+	return err == nil
+}
+
 // addr hashes (version, key) to the entry's content address.
 func (s *Store) addr(key string) string {
 	h := sha256.Sum256([]byte(s.version + "\x00" + key))

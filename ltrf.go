@@ -250,11 +250,12 @@ type SimOptions struct {
 	// results with (zero fields keep the defaults). Accounting only — it
 	// never changes timing.
 	Chip ChipConfig
-	// ForceCycleAccurate pins the simulator's one-cycle-per-pass clock
-	// instead of the event-driven fast-forward that skips cycles in which
-	// no warp can issue. Results are identical either way (the equivalence
-	// property suite asserts it); the flag exists for cycle-by-cycle
-	// debugging and for measuring the fast-forward speedup.
+	// ForceCycleAccurate pins the simulator's reference stack: the
+	// one-cycle-per-pass clock instead of the event-driven fast-forward
+	// that skips cycles in which no warp can issue, and the linear issue
+	// scan instead of the indexed ready-warp scan. Results are identical
+	// either way (the equivalence property suite asserts it); the flag
+	// exists for cycle-by-cycle debugging and for measuring the speedup.
 	ForceCycleAccurate bool
 }
 
@@ -313,6 +314,29 @@ func SimulateContext(ctx context.Context, o SimOptions, kernel *Program) (*SimRe
 		return nil, err
 	}
 	return sim.RunCtx(ctx, c, kernel)
+}
+
+// SimCache memoizes the compiler pipeline (register allocation, dead-bit
+// annotation, prefetch-partition formation) across simulations, so sweeps
+// that re-simulate one kernel under many timing configurations compile it
+// once per (kernel, register cap) instead of once per point. Entries are
+// keyed by kernel pointer identity: reuse the same *Program across calls.
+// Safe for concurrent use; the simulated results are identical with or
+// without a cache.
+type SimCache = sim.CompileCache
+
+// NewSimCache returns an empty compile cache for SimulateCached.
+func NewSimCache() *SimCache { return sim.NewCompileCache() }
+
+// SimulateCached is SimulateContext with a compile cache: use it when
+// simulating the same kernel repeatedly (sweeps, servers, benchmarks) to
+// keep compilation out of the per-run cost.
+func SimulateCached(ctx context.Context, cache *SimCache, o SimOptions, kernel *Program) (*SimResult, error) {
+	c, err := o.config()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunWithCacheCtx(ctx, c, kernel, cache)
 }
 
 // SimulateGPU runs a kernel on numSMs streaming multiprocessors stepped in
