@@ -18,6 +18,15 @@
 // L1/L2/DRAM + shared memory + SM pipelines) — with a best-design column
 // for each; rows where the two best columns differ are designs the RF-only
 // yardstick mis-ranks.
+//
+// The pipesweep experiment contrasts each software-pipelined workload with
+// its naive counterpart of identical work across every registered design,
+// the latency grid, and the scheduler variants (static/flat rows at 6x);
+// its flip note counts the design orderings that disagree between the two
+// kernel styles:
+//
+//	ltrf-experiments -run pipesweep -quick
+//	ltrf-experiments -run pipesweep -workloads smempipe
 package main
 
 import (

@@ -9,6 +9,7 @@
 //
 //	ltrf-sim -workload sgemm -design LTRF -latency 6.3
 //	ltrf-sim -workload btree -design RFC -tech 7
+//	ltrf-sim -workload regpipe -design LTRF -latency 6.3 -sched static
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		warps    = flag.Int("active", 0, "active warps (0 = Table 3 default of 8)")
 		n        = flag.Int("n", 0, "registers per register-interval (0 = default 16)")
 		instrs   = flag.Int64("instrs", 0, "dynamic instruction budget (0 = default)")
+		sched    = flag.String("sched", "", "warp scheduler: twolevel (default) | static | flat")
 		cycleAcc = flag.Bool("cycle-accurate", false, "tick one cycle per pass instead of the event-driven fast-forward (identical results, slower; for debugging/measurement)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none); Ctrl-C aborts too")
 		list     = flag.Bool("list", false, "list workloads")
@@ -55,11 +57,18 @@ func main() {
 			if w.Sensitive {
 				class = "sensitive"
 			}
-			eval := ""
+			extra := ""
 			if w.Eval {
-				eval = " [eval]"
+				extra += " [eval]"
 			}
-			fmt.Printf("%-14s %-9s %s%s\n", w.Name, w.Suite, class, eval)
+			if w.Family != "" {
+				role := "naive"
+				if w.Pipelined {
+					role = "pipelined"
+				}
+				extra += fmt.Sprintf(" [family:%s %s]", w.Family, role)
+			}
+			fmt.Printf("%-14s %-9s %s%s\n", w.Name, w.Suite, class, extra)
 		}
 		return
 	}
@@ -87,6 +96,7 @@ func main() {
 	res, err := ltrf.SimulateContext(ctx, ltrf.SimOptions{
 		Design: d, TechConfig: *tech, LatencyX: *latency,
 		ActiveWarps: *warps, IntervalRegs: *n, MaxInstrs: *instrs,
+		Scheduler:          ltrf.Scheduler(*sched),
 		ForceCycleAccurate: *cycleAcc,
 	}, w.Build(3))
 	if err != nil {

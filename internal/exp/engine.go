@@ -35,6 +35,10 @@ type Point struct {
 	// Table 3 overrides for the sensitivity figures (0 = default).
 	RegsPerInterval int // Figure 12
 	ActiveWarps     int // Figure 13
+
+	// Scheduler selects the warp-scheduler variant (empty = the two-level
+	// default). pipesweep's scheduler-sensitivity rows set it.
+	Scheduler sim.Scheduler
 }
 
 // point builds the canonical key for a simulation at the options' budget.
@@ -68,6 +72,7 @@ func (p Point) config() (sim.Config, error) {
 	if p.ActiveWarps != 0 {
 		c.ActiveWarps = p.ActiveWarps
 	}
+	c.Scheduler = p.Scheduler
 	return c, nil
 }
 
@@ -253,6 +258,9 @@ func (p Point) canon() Point {
 	}
 	if p.ActiveWarps == d.ActiveWarps {
 		p.ActiveWarps = 0
+	}
+	if p.Scheduler == sim.SchedTwoLevel {
+		p.Scheduler = "" // the resolved default: shares the memo with unset
 	}
 	return p
 }

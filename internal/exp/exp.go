@@ -189,6 +189,7 @@ func Registry() []Spec {
 		{"overheads", "LTRF code-size, storage, area, and power overheads", Overheads},
 		{"designspace", "IPC and RF power of every registered design (open registry)", DesignSpace},
 		{"designsweep", "Energy-delay product of every registered design across the latency sweep", DesignSweep},
+		{"pipesweep", "Software-pipelined vs naive kernels across designs, latency, and schedulers", PipeSweep},
 	}
 }
 

@@ -52,7 +52,7 @@ func Overheads(o Options) (*Table, error) {
 	// Code size across the full suite: allocation and interval formation
 	// come from the engine's compile cache, measured in parallel.
 	eng := o.engine()
-	wsAll := workloads.All()
+	wsAll := workloads.PaperSuite()
 	embs := make([]float64, len(wsAll))
 	exps := make([]float64, len(wsAll))
 	err := parallelEach(o, len(wsAll), func(i int) error {

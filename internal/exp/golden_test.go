@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -31,8 +32,9 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 	var sb strings.Builder
 	for _, s := range Registry() {
 		// The registry-driven experiments post-date the pre-registry golden
-		// capture; designsweep has its own golden (TestDesignSweepGolden).
-		if s.ID == "designspace" || s.ID == "designsweep" {
+		// capture; designsweep and pipesweep have their own goldens
+		// (TestDesignSweepGolden, TestPipeSweepGolden).
+		if s.ID == "designspace" || s.ID == "designsweep" || s.ID == "pipesweep" {
 			continue
 		}
 		tab, err := s.Run(o)
@@ -82,6 +84,80 @@ func TestDesignSweepGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("designsweep table diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, string(want))
+	}
+}
+
+// TestPipeSweepGolden pins the pipesweep table byte-for-byte on the full
+// family (both pairs) across every registered design. Regenerate with
+// LTRF_UPDATE_GOLDEN=1 after an intentional model change.
+func TestPipeSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const path = "testdata/pipesweep_quick_golden.txt"
+	o := Options{
+		Quick:  true,
+		Engine: NewEngine(),
+	}
+	tab, err := PipeSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	if os.Getenv("LTRF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("pipesweep table diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, string(want))
+	}
+}
+
+// TestPipeSweepRankingFlips pins the acceptance criterion the family was
+// built for: at some (design, latency) point the design ranking computed on
+// a pipelined kernel must differ from the ranking on its equal-work naive
+// counterpart — i.e. which register-file design you should pick depends on
+// whether the kernel hides latency in software. The quick table must
+// report a non-zero flip count, and the two best() columns must actually
+// disagree on at least one row.
+func TestPipeSweepRankingFlips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := PipeSweep(Options{Quick: true, Engine: NewEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := -1
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "design-ranking flips") {
+			if _, err := fmt.Sscanf(n, "design-ranking flips between the pipelined and naive orderings: %d", &flips); err != nil {
+				t.Fatalf("unparseable flip note %q: %v", n, err)
+			}
+		}
+	}
+	if flips < 0 {
+		t.Fatal("pipesweep table missing the design-ranking-flips note")
+	}
+	if flips < 1 {
+		t.Errorf("flip count %d: the quick grid must contain at least one design-ranking flip between a pipelined kernel and its naive counterpart", flips)
+	}
+	bestP, bestN := len(tab.Headers)-2, len(tab.Headers)-1
+	disagree := 0
+	for _, row := range tab.Rows {
+		if row[bestP] != row[bestN] {
+			disagree++
+		}
+	}
+	if disagree == 0 {
+		t.Error("best(pipe) and best(naive) agree on every row; the family is not separating the designs")
 	}
 }
 

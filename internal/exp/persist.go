@@ -27,9 +27,15 @@ func StoreVersion() string { return fmt.Sprintf("ltrf-exp/v%d", ResultSchemaVers
 // user-level key. Field order is fixed and every field is explicit, so the
 // key — and with it the content address — is total over Point.
 func (p Point) storeKey() string {
-	return fmt.Sprintf("design=%s;tech=%d;latx=%g;wl=%s;unroll=%d;budget=%d;rpi=%d;aw=%d",
+	key := fmt.Sprintf("design=%s;tech=%d;latx=%g;wl=%s;unroll=%d;budget=%d;rpi=%d;aw=%d",
 		p.Design.Name(), p.Tech, p.LatencyX, p.Workload, p.Unroll, p.Budget,
 		p.RegsPerInterval, p.ActiveWarps)
+	// Appended only when non-default (post-canon), so every pre-axis store
+	// address stays reachable without a schema bump.
+	if p.Scheduler != "" {
+		key += fmt.Sprintf(";sched=%s", p.Scheduler)
+	}
+	return key
 }
 
 // storedResult is the persisted payload: the simulation's statistics and

@@ -37,7 +37,7 @@ func Table1(o Options) (*Table, error) {
 	}
 	eng := o.engine()
 	for _, g := range gpus {
-		all := workloads.All()
+		all := workloads.PaperSuite()
 		pressures := make([]int, len(all))
 		err := parallelEach(o, len(all), func(i int) error {
 			p, err := eng.Pressure(all[i].Name, g.unroll)
@@ -242,7 +242,7 @@ func Table4(o Options) (*Table, error) {
 		rAvg, oAvg float64
 		multi      bool
 	}
-	wsAll := workloads.All()
+	wsAll := workloads.PaperSuite()
 	eng := o.engine()
 	ms := make([]measurement, len(wsAll))
 	err := parallelEach(o, len(wsAll), func(i int) error {

@@ -60,6 +60,43 @@ func (d Design) Name() string {
 
 func (d Design) String() string { return d.Name() }
 
+// Scheduler names a warp-scheduler variant. The PR 4 warp-reshuffle study
+// showed cycle counts are sensitive to WHICH warps the two-level scheduler
+// keeps active; this axis turns that footnote into a first-class experiment
+// dimension (pipesweep's scheduler-sensitivity rows).
+type Scheduler string
+
+const (
+	// SchedTwoLevel is the paper's two-level scheduler (§4): an active set
+	// of ActiveWarps warps, with long-latency operands deactivating a warp
+	// so a pending one can take its slot.
+	SchedTwoLevel Scheduler = "twolevel"
+	// SchedStatic keeps the two-level active/pending split but never
+	// deactivates on long-latency operands: a slot is recycled only when
+	// its warp finishes or parks at a barrier. This is the
+	// latency-intolerant extreme — a warp stuck on a slow register fetch
+	// pins its slot — so kernels that hide latency in software (the
+	// pipelined family) lose the least under it.
+	SchedStatic Scheduler = "static"
+	// SchedFlat makes every resident warp schedulable (no active subset),
+	// the FlatScheduler ablation as a named mode.
+	SchedFlat Scheduler = "flat"
+)
+
+// SchedulerMode resolves the configured scheduler: the Scheduler field when
+// set, else SchedFlat when the legacy FlatScheduler flag is set, else
+// SchedTwoLevel. Setting both Scheduler and FlatScheduler inconsistently is
+// rejected by Validate.
+func (c *Config) SchedulerMode() Scheduler {
+	if c.Scheduler != "" {
+		return c.Scheduler
+	}
+	if c.FlatScheduler {
+		return SchedFlat
+	}
+	return SchedTwoLevel
+}
+
 // Descriptor resolves the design in the regfile registry; the error for an
 // unknown design lists every registered name.
 func (d Design) Descriptor() (regfile.Descriptor, error) {
@@ -115,7 +152,13 @@ type Config struct {
 	WideXbar bool
 	// FlatScheduler disables two-level scheduling, making all resident
 	// warps schedulable (ablation; BL and Ideal use this implicitly).
+	// Equivalent to Scheduler: SchedFlat; kept for back-compat with stored
+	// experiment points and the existing CLI flag.
 	FlatScheduler bool
+	// Scheduler selects the warp-scheduler variant for the PR 4
+	// reshuffle-sensitivity axis. Empty means SchedTwoLevel (the paper's
+	// scheduler) unless FlatScheduler is set. See SchedulerMode.
+	Scheduler Scheduler
 	// ForceCycleAccurate pins the simulator's historical reference stack:
 	// the one-cycle-per-pass clock instead of the event-driven fast-forward
 	// that jumps the dead spans in which no warp can issue, AND the linear
@@ -257,6 +300,14 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxCycles < 1 || c.MaxInstrs < 1 {
 		return fmt.Errorf("sim: budgets must be positive")
+	}
+	switch c.Scheduler {
+	case "", SchedTwoLevel, SchedStatic, SchedFlat:
+	default:
+		return fmt.Errorf("sim: unknown scheduler %q (known: %s, %s, %s)", c.Scheduler, SchedTwoLevel, SchedStatic, SchedFlat)
+	}
+	if c.FlatScheduler && c.Scheduler != "" && c.Scheduler != SchedFlat {
+		return fmt.Errorf("sim: FlatScheduler conflicts with Scheduler %q", c.Scheduler)
 	}
 	if err := c.Chip.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)

@@ -19,6 +19,7 @@ import (
 	"ltrf/internal/isa"
 	"ltrf/internal/memtech"
 	"ltrf/internal/regfile"
+	"ltrf/internal/workloads"
 )
 
 // runBothModes simulates one configuration under the fast-forward and
@@ -100,6 +101,12 @@ func TestFastForwardEquivalenceDiagnostics(t *testing.T) {
 	flat := base
 	flat.FlatScheduler = true
 
+	flatNamed := base
+	flatNamed.Scheduler = SchedFlat
+
+	static := base
+	static.Scheduler = SchedStatic
+
 	wide := base
 	wide.WideXbar = true
 
@@ -116,6 +123,8 @@ func TestFastForwardEquivalenceDiagnostics(t *testing.T) {
 	}{
 		{"track-deact-pcs", track},
 		{"flat-scheduler", flat},
+		{"flat-scheduler-named", flatNamed},
+		{"static-scheduler", static},
 		{"wide-xbar", wide},
 		{"tight-max-cycles", tight},
 		{"ideal-flat", ideal},
@@ -135,6 +144,41 @@ func TestFastForwardEquivalenceDiagnostics(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ff.deactByPC, ca.deactByPC) {
 			t.Errorf("%s: deactByPC diverges: %v vs %v", tc.label, ff.deactByPC, ca.deactByPC)
+		}
+	}
+}
+
+// TestFamilyFastForwardEquivalence pins the clock-equivalence contract on
+// the software-pipelined family's distinctive shapes — double-buffered
+// load/compute interleavings and barrier-fenced shared-memory staging,
+// which exercise wake-queue and ready-ring transitions the paper suite's
+// kernels do not — across every scheduler mode, at the high-latency point
+// where fast-forward jumps are longest. (The family also flows through the
+// full cross-product via propertyWorkloads; this leg adds the scheduler
+// axis and keeps a failure attributable to a specific pair member.)
+func TestFamilyFastForwardEquivalence(t *testing.T) {
+	cc := NewCompileCache()
+	for _, fam := range workloads.Families() {
+		pair, err := workloads.FamilyPair(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []workloads.Workload{pair.Pipelined, pair.Naive} {
+			prog := w.Build(workloads.UnrollMaxwell)
+			for _, sched := range []Scheduler{SchedTwoLevel, SchedStatic, SchedFlat} {
+				c := DefaultConfig(DesignLTRF)
+				c.Scheduler = sched
+				c.LatencyX = 6.3
+				c.MaxInstrs = 6000
+				c.MaxCycles = 6000 * 12
+				st := runBothModes(t, w.Name+"/"+string(sched), c, prog, cc)
+				if st.Instrs == 0 {
+					t.Errorf("%s/%s: retired no instructions; equivalence vacuous", w.Name, sched)
+				}
+				if sched != SchedTwoLevel && st.Deactivations != 0 {
+					t.Errorf("%s/%s: %d deactivations under a non-swapping scheduler", w.Name, sched, st.Deactivations)
+				}
+			}
 		}
 	}
 }

@@ -92,7 +92,7 @@ func RunGPUCtx(ctx context.Context, c Config, nSMs int, virtual *isa.Program) (*
 	dram := memsys.NewDRAM(c.Mem.DRAM)
 
 	activeCap := c.ActiveWarps
-	if c.FlatScheduler {
+	if c.SchedulerMode() == SchedFlat {
 		activeCap = warps
 	}
 	if activeCap > warps {

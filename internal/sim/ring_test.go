@@ -219,14 +219,87 @@ func barrierKernel(outer, inner int) *isa.Program {
 	return b.MustBuild()
 }
 
+// regPrefetchKernel is the fuzz-sized register double-buffering shape of
+// the workloads family (regpipe): loads of the next tile target the idle
+// buffer while FMAs drain the other, so parked loads wake in bursts a full
+// compute phase after issue — a scoreboard schedule none of the single-
+// buffered kernels produce.
+func regPrefetchKernel(trips, tile int) *isa.Program {
+	b := isa.NewBuilder("regprefetch")
+	ptr := b.Reg()
+	b.IMovImm(ptr, 0)
+	acc := b.RegN(4)
+	for _, a := range acc {
+		b.IMovImm(a, 1)
+	}
+	bufA, bufB := b.RegN(tile), b.RegN(tile)
+	for _, r := range bufA {
+		b.IMovImm(r, 2)
+	}
+	b.Loop(trips, func() {
+		for _, bufs := range [2][2][]isa.Reg{{bufB, bufA}, {bufA, bufB}} {
+			for i, r := range bufs[0] {
+				b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: 4 << 20})
+			}
+			for i, r := range bufs[1] {
+				b.FFMA(acc[i%4], r, acc[(i+1)%4], acc[i%4])
+			}
+		}
+		b.IAddImm(ptr, ptr, 4)
+	})
+	return b.MustBuild()
+}
+
+// smemDoubleBufKernel is the fuzz-sized shared-memory double-buffering
+// shape (smempipe): global loads stage into registers while compute reads
+// the resident shared tile, with barrier-fenced drains into the alternate
+// shared region — barrier releases interleaved with long-latency parks.
+func smemDoubleBufKernel(trips, tile int) *isa.Program {
+	b := isa.NewBuilder("smemdoublebuf")
+	ptr, sptr := b.Reg(), b.Reg()
+	b.IMovImm(ptr, 0)
+	b.IMovImm(sptr, 0)
+	acc := b.RegN(2)
+	for _, a := range acc {
+		b.IMovImm(a, 1)
+	}
+	g := b.RegN(tile)
+	for _, r := range g {
+		b.IMovImm(r, 2)
+	}
+	smem := func(region uint8) isa.MemAccess {
+		return isa.MemAccess{Pattern: isa.PatCoalesced, Region: region, FootprintB: 8 << 10}
+	}
+	b.Loop(trips, func() {
+		for phase := uint8(0); phase < 2; phase++ {
+			cur, next := 1+phase, 2-phase
+			for i, r := range g {
+				b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: 4 << 20})
+			}
+			for range g {
+				b.LdShared(acc[0], sptr, smem(cur))
+				b.FFMA(acc[1], acc[0], acc[1], acc[1])
+			}
+			b.Bar()
+			for _, r := range g {
+				b.StShared(sptr, r, smem(next))
+			}
+			b.Bar()
+		}
+		b.IAddImm(ptr, ptr, 4)
+	})
+	return b.MustBuild()
+}
+
 // FuzzIndexedScanEquivalence fuzzes simulator configurations and kernel
 // shapes and asserts the indexed issue scan (plus the event-driven clock)
 // produces Stats deeply equal to the ForceCycleAccurate reference — the
 // linear scan ticking one cycle at a time. The kernel set spans the event
 // schedules the ring must replay exactly: pure compute (collector
 // starvation), streaming loads (scoreboard parks, two-level
-// deactivation/activation), tiled loops (mixed), and barriers
-// (park/unpark plus barrier releases).
+// deactivation/activation), tiled loops (mixed), barriers (park/unpark
+// plus barrier releases), and the double-buffered family shapes
+// (burst-waking prefetch scoreboards; barrier-fenced staging).
 func FuzzIndexedScanEquivalence(f *testing.F) {
 	f.Add(0, 1, 1.0, 8, 3000, 0, 50, 4)   // BL, baseline tech: the PR 7 perf point
 	f.Add(3, 7, 6.3, 8, 3000, 1, 100, 6)  // LTRF at DWM, streaming: deactivation-heavy
@@ -234,6 +307,8 @@ func FuzzIndexedScanEquivalence(f *testing.F) {
 	f.Add(0, 2, 1.5, 6, 2000, 3, 8, 10)   // BL with barriers
 	f.Add(4, 7, 6.3, 2, 1500, 3, 5, 3)    // LTRFPlus, barriers, tiny active set
 	f.Add(5, 1, 1.0, 16, 2000, 0, 200, 0) // Ideal, compute-bound, wide active set
+	f.Add(3, 7, 6.3, 2, 3000, 4, 40, 6)   // LTRF at DWM, register double buffering
+	f.Add(0, 6, 4.0, 4, 2500, 5, 33, 5)   // BL at TFET, smem double buffering
 
 	designs := []Design{DesignBL, DesignRFC, DesignSHRF, DesignLTRF, DesignLTRFPlus, DesignIdeal}
 	f.Fuzz(func(t *testing.T, design, tech int, latX float64, activeWarps, budget, kernel, kp1, kp2 int) {
@@ -253,15 +328,19 @@ func FuzzIndexedScanEquivalence(f *testing.F) {
 		p1 := ((kp1%200)+200)%200 + 5
 		p2 := ((kp2%12)+12)%12 + 2
 		var prog *isa.Program
-		switch ((kernel % 4) + 4) % 4 {
+		switch ((kernel % 6) + 6) % 6 {
 		case 0:
 			prog = aluKernel(p1)
 		case 1:
 			prog = streamKernel(8, p1)
 		case 2:
 			prog = tiledKernel(p1/4+2, p2)
-		default:
+		case 3:
 			prog = barrierKernel(p1/8+2, p2)
+		case 4:
+			prog = regPrefetchKernel(p1/8+2, p2)
+		default:
+			prog = smemDoubleBufKernel(p1/16+2, p2)
 		}
 
 		c.ForceCycleAccurate = false

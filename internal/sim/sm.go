@@ -147,6 +147,12 @@ type SM struct {
 	indexed bool
 	ring    readyRing
 
+	// deactOn caches the scheduler-mode decision for the hot issue paths:
+	// long-latency operands deactivate warps only under the two-level mode
+	// (SchedTwoLevel) and only when an inactive pool exists. SchedStatic
+	// keeps the split but never swaps on latency; SchedFlat has no pool.
+	deactOn bool
+
 	// cancel is the simulation's cancellation signal (ctx.Done() of the
 	// context handed to RunCtx; nil when the caller supplied none). The run
 	// loop polls it every cancelCheckMask+1 passes — coarse-grained on
@@ -215,6 +221,7 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 		activeCap:  activeCap,
 		collectors: make([]int64, cfg.Collectors),
 		indexed:    !cfg.ForceCycleAccurate,
+		deactOn:    cfg.SchedulerMode() == SchedTwoLevel && activeCap < nWarps,
 	}
 	nregs := prog.RegCount()
 	if nregs == 0 {
@@ -601,9 +608,11 @@ func (sm *SM) wakeAt(t int64) {
 	}
 }
 
-// twoLevel reports whether the scheduler swaps blocked warps out.
+// twoLevel reports whether the scheduler swaps blocked warps out. False
+// under SchedFlat (no inactive pool) and SchedStatic (slots recycle only on
+// finish or barrier park, never on operand latency).
 func (sm *SM) twoLevel() bool {
-	return !sm.cfg.FlatScheduler && sm.activeCap < len(sm.warps)
+	return sm.deactOn
 }
 
 // freeCollector returns the index of an operand collector free at the

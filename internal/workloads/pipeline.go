@@ -1,0 +1,241 @@
+// Software-pipelined workload family: latency-hiding kernel idioms paired
+// with naive single-buffered counterparts of identical arithmetic work.
+//
+// Real GEMM kernels hide memory latency with register-based double
+// buffering (SNIPPETS.md snippet 1, Strategy A): the loads of the NEXT tile
+// issue into a second register buffer while the FMAs of the current tile
+// execute, so every load has a whole compute phase of slack before its
+// first use — at the deliberate cost of keeping a second tile's registers
+// live across the loop back-edge. That regime (extra pressure purchased for
+// latency tolerance) is exactly where the register-file designs disagree,
+// which is why each pipelined kernel here is paired with a naive variant
+// that retires the SAME instruction-class counts (the calibration test
+// asserts it) and differs ONLY in load placement and buffer liveness.
+package workloads
+
+import (
+	"ltrf/internal/isa"
+)
+
+// regPipeParams describes the register-prefetch GEMM family (regpipe): a
+// register-blocked compute loop whose tiles stream from global memory.
+type regPipeParams struct {
+	tileRegs   int   // registers per tile (the prefetch buffer size K)
+	fmasPerReg int   // FMAs consuming each tile register per phase
+	accs       int   // accumulators (scaled by unroll)
+	trips      int   // outer-loop trips (two tile phases per trip)
+	fp         int64 // global footprint
+}
+
+// buildRegPipe emits the register-prefetch kernel. Both variants execute,
+// per trip, exactly 2*tileRegs global loads, 2*tileRegs*fmasPerReg FMAs,
+// and one pointer bump:
+//
+//   - pipelined: the loads of the next tile fill the OTHER register buffer
+//     before the current tile's FMAs run, so each load is separated from
+//     its first use by a full compute phase plus the next load batch, and
+//     both buffers stay live across the loop back-edge;
+//   - naive: each tile register is loaded immediately before the FMAs that
+//     consume it, so every load's result is demanded within a couple of
+//     instructions and only one buffer exists.
+//
+// The pipelined prologue seeds buffer A with immediates standing in for
+// tile 0 (the naive variant emits the same dead initializations), keeping
+// the totals of every instruction class identical between the variants.
+func buildRegPipe(name string, p regPipeParams, pipelined bool) func(int) *isa.Program {
+	return func(unroll int) *isa.Program {
+		if unroll < 1 {
+			unroll = 1
+		}
+		b := isa.NewBuilder(name)
+		nAcc := p.accs * unroll
+		k := p.tileRegs
+
+		ptr := b.Reg()
+		coef := b.RegN(2)
+		b.IMovImm(ptr, 0)
+		for i, c := range coef {
+			b.IMovImm(c, int64(i+3))
+		}
+		acc := b.RegN(nAcc)
+		for _, a := range acc {
+			b.IMovImm(a, 1)
+		}
+		bufA := b.RegN(k)
+		var bufB []isa.Reg
+		if pipelined {
+			bufB = b.RegN(k)
+		}
+		// Tile 0 stand-in (dead in the naive variant, which reloads bufA
+		// before its first use — emitted anyway so ALU counts match).
+		for _, r := range bufA {
+			b.IMovImm(r, 2)
+		}
+
+		ld := func(dst []isa.Reg) {
+			for i, r := range dst {
+				b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: p.fp})
+			}
+		}
+		fma := func(src []isa.Reg, phase int) {
+			for i, r := range src {
+				for j := 0; j < p.fmasPerReg; j++ {
+					ai := (phase*k*p.fmasPerReg + i*p.fmasPerReg + j) % nAcc
+					b.FFMA(acc[ai], r, coef[(i+j)%2], acc[ai])
+				}
+			}
+		}
+
+		b.Loop(p.trips, func() {
+			if pipelined {
+				// Phase 0: prefetch the next tile into B, compute from A.
+				ld(bufB)
+				fma(bufA, 0)
+				// Phase 1: prefetch into A, compute from B.
+				ld(bufA)
+				fma(bufB, 1)
+			} else {
+				// Each tile register is demanded right after its load.
+				for phase := 0; phase < 2; phase++ {
+					for i, r := range bufA {
+						b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: p.fp})
+						for j := 0; j < p.fmasPerReg; j++ {
+							ai := (phase*k*p.fmasPerReg + i*p.fmasPerReg + j) % nAcc
+							b.FFMA(acc[ai], r, coef[(i+j)%2], acc[ai])
+						}
+					}
+				}
+			}
+			b.IAddImm(ptr, ptr, 4)
+		})
+		// Store every accumulator so the whole block stays live to the end.
+		for _, a := range acc {
+			b.StGlobal(ptr, a, isa.MemAccess{Pattern: isa.PatCoalesced, Region: 7, FootprintB: p.fp})
+		}
+		return b.MustBuild()
+	}
+}
+
+// smemPipeParams describes the double-buffered shared-memory GEMM family
+// (smempipe): tiles staged global -> registers -> shared memory, computed
+// out of shared memory between barriers.
+type smemPipeParams struct {
+	tileRegs  int   // staging registers per tile (K)
+	sharedLds int   // shared loads per compute phase
+	fmasPerLd int   // FMAs per shared load
+	accs      int   // accumulators (scaled by unroll)
+	trips     int   // outer-loop trips (two tile phases per trip)
+	fp        int64 // global footprint
+	smemTileB int64 // shared bytes per tile buffer
+}
+
+// buildSmemPipe emits the shared-memory GEMM. Both variants execute, per
+// phase: tileRegs global loads, tileRegs shared stores, sharedLds shared
+// loads, sharedLds*fmasPerLd FMAs, and two barriers:
+//
+//   - pipelined: double buffering at BOTH levels. The global loads of tile
+//     t+1 fill the idle staging buffer while the FMAs of tile t read the
+//     current shared buffer; after the barrier the staged registers drain
+//     into the OTHER shared region. Two staging buffers stay live across
+//     phases and the shared footprint covers two tile regions;
+//   - naive: one staging buffer, one shared region. Each staged register is
+//     stored immediately after its load, so the store chain serializes on
+//     global latency, and the compute phase waits behind it at the barrier.
+func buildSmemPipe(name string, p smemPipeParams, pipelined bool) func(int) *isa.Program {
+	return func(unroll int) *isa.Program {
+		if unroll < 1 {
+			unroll = 1
+		}
+		b := isa.NewBuilder(name)
+		nAcc := p.accs * unroll
+
+		smemFP := p.smemTileB
+		if pipelined {
+			smemFP = 2 * p.smemTileB // two resident tile buffers
+		}
+		smem := func(region uint8) isa.MemAccess {
+			return isa.MemAccess{Pattern: isa.PatCoalesced, Region: region, FootprintB: smemFP}
+		}
+
+		ptr := b.Reg()
+		sptr := b.Reg()
+		coef := b.RegN(2)
+		b.IMovImm(ptr, 0)
+		b.IMovImm(sptr, 0)
+		for i, c := range coef {
+			b.IMovImm(c, int64(i+5))
+		}
+		acc := b.RegN(nAcc)
+		for _, a := range acc {
+			b.IMovImm(a, 1)
+		}
+		tmp := b.RegN(2)
+		gA := b.RegN(p.tileRegs)
+		var gB []isa.Reg
+		if pipelined {
+			gB = b.RegN(p.tileRegs)
+		}
+		// Tile 0 stand-in staged by the pipelined prologue (dead in the
+		// naive variant; emitted for identical ALU counts).
+		for _, r := range gA {
+			b.IMovImm(r, 2)
+		}
+
+		compute := func(region uint8, phase int) {
+			for r := 0; r < p.sharedLds; r++ {
+				t := tmp[r%2]
+				b.LdShared(t, sptr, smem(region))
+				for j := 0; j < p.fmasPerLd; j++ {
+					ai := (phase*p.sharedLds*p.fmasPerLd + r*p.fmasPerLd + j) % nAcc
+					b.FFMA(acc[ai], t, coef[(r+j)%2], acc[ai])
+				}
+			}
+		}
+
+		b.Loop(p.trips, func() {
+			if pipelined {
+				// Phase 0: stage tile t+1 into gB while computing out of
+				// shared region 1, then drain gA (staged last phase) into
+				// region 2 behind the barrier.
+				ld := func(dst []isa.Reg) {
+					for i, r := range dst {
+						b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: p.fp})
+					}
+				}
+				st := func(src []isa.Reg, region uint8) {
+					for _, r := range src {
+						b.StShared(sptr, r, smem(region))
+					}
+				}
+				ld(gB)
+				compute(1, 0)
+				b.Bar()
+				st(gA, 2)
+				b.Bar()
+				// Phase 1: roles swap.
+				ld(gA)
+				compute(2, 1)
+				b.Bar()
+				st(gB, 1)
+				b.Bar()
+			} else {
+				for phase := 0; phase < 2; phase++ {
+					// Load-store pairs serialize on global latency: each
+					// staged register is demanded by its store immediately.
+					for i, r := range gA {
+						b.LdGlobal(r, ptr, isa.MemAccess{Pattern: isa.PatCoalesced, Region: uint8(i % 4), FootprintB: p.fp})
+						b.StShared(sptr, r, smem(1))
+					}
+					b.Bar()
+					compute(1, phase)
+					b.Bar()
+				}
+			}
+			b.IAddImm(ptr, ptr, 4)
+		})
+		for _, a := range acc {
+			b.StGlobal(ptr, a, isa.MemAccess{Pattern: isa.PatCoalesced, Region: 7, FootprintB: p.fp})
+		}
+		return b.MustBuild()
+	}
+}

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ltrf/internal/isa"
 )
@@ -27,6 +28,13 @@ type Workload struct {
 	// Eval marks membership in the paper's 14-workload evaluation subset
 	// (nine register-sensitive + five register-insensitive, §5).
 	Eval bool
+	// Family names the software-pipelining family this workload belongs
+	// to ("" for the 35 paper-suite workloads). Each family is a pair: a
+	// latency-hiding pipelined kernel and a naive counterpart of identical
+	// instruction-class counts (see pipeline.go).
+	Family string
+	// Pipelined marks the latency-hiding member of a family pair.
+	Pipelined bool
 
 	build func(unroll int) *isa.Program
 }
@@ -118,13 +126,107 @@ var all = []Workload{
 		build: buildTiled("stencil", tiledParams{phases: 3, accs: 11, coefs: 6, inner: 8, outer: 6, fp: mb(4)})},
 	{Name: "tpacf", Suite: Parboil, Sensitive: true,
 		build: buildTiled("tpacf", tiledParams{phases: 3, accs: 10, coefs: 4, inner: 8, outer: 6, fp: mb(2), sfu: 1})},
+
+	// --- Software-pipelined family (4): latency-hiding idioms paired
+	// with naive counterparts of identical instruction-class counts
+	// (pipeline.go). Not part of the paper's 35-workload suite
+	// (PaperSuite) or its 14-workload evaluation subset. ---
+	{Name: "regpipe", Suite: CUDASDK, Sensitive: true, Family: "regpipe", Pipelined: true,
+		build: buildRegPipe("regpipe", regPipeDefaults, true)},
+	{Name: "regpipe-naive", Suite: CUDASDK, Sensitive: true, Family: "regpipe",
+		build: buildRegPipe("regpipe-naive", regPipeDefaults, false)},
+	{Name: "smempipe", Suite: CUDASDK, Sensitive: true, Family: "smempipe", Pipelined: true,
+		build: buildSmemPipe("smempipe", smemPipeDefaults, true)},
+	{Name: "smempipe-naive", Suite: CUDASDK, Sensitive: true, Family: "smempipe",
+		build: buildSmemPipe("smempipe-naive", smemPipeDefaults, false)},
 }
 
-// All returns the 35 workloads in deterministic order.
+// Default parameterizations of the pipelined families: sized so that a
+// full kernel execution of every resident warp fits the default dynamic
+// instruction budget (the calibration and metamorphic tests run both
+// variants to completion) while the pipelined members' prefetch buffers
+// add clearly measurable register pressure.
+var (
+	regPipeDefaults  = regPipeParams{tileRegs: 6, fmasPerReg: 6, accs: 8, trips: 10, fp: 512 << 10}
+	smemPipeDefaults = smemPipeParams{tileRegs: 5, sharedLds: 6, fmasPerLd: 6, accs: 6, trips: 8, fp: 512 << 10, smemTileB: 12 << 10}
+)
+
+// All returns every registered workload — the 35 paper-suite kernels
+// followed by the software-pipelined family pairs — in deterministic order.
 func All() []Workload {
 	out := make([]Workload, len(all))
 	copy(out, all)
 	return out
+}
+
+// PaperSuite returns the paper's 35 benchmark stand-ins (§5), excluding the
+// software-pipelined family: the set Table 1, Table 4, and the overheads
+// analysis aggregate over.
+func PaperSuite() []Workload {
+	var out []Workload
+	for _, w := range all {
+		if w.Family == "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Pair is one software-pipelining family: the latency-hiding member and
+// its naive counterpart of identical instruction-class counts.
+type Pair struct {
+	Family    string
+	Pipelined Workload
+	Naive     Workload
+}
+
+// Pairs returns every pipelined/naive family pair in deterministic
+// (declaration) order.
+func Pairs() []Pair {
+	byFam := map[string]*Pair{}
+	var order []string
+	for _, w := range all {
+		if w.Family == "" {
+			continue
+		}
+		p, ok := byFam[w.Family]
+		if !ok {
+			p = &Pair{Family: w.Family}
+			byFam[w.Family] = p
+			order = append(order, w.Family)
+		}
+		if w.Pipelined {
+			p.Pipelined = w
+		} else {
+			p.Naive = w
+		}
+	}
+	out := make([]Pair, len(order))
+	for i, f := range order {
+		out[i] = *byFam[f]
+	}
+	return out
+}
+
+// Families returns the family names in deterministic order.
+func Families() []string {
+	var out []string
+	for _, p := range Pairs() {
+		out = append(out, p.Family)
+	}
+	return out
+}
+
+// FamilyPair looks a family up by name; the error for an unknown family
+// lists every registered one.
+func FamilyPair(family string) (Pair, error) {
+	for _, p := range Pairs() {
+		if p.Family == family {
+			return p, nil
+		}
+	}
+	return Pair{}, fmt.Errorf("workloads: unknown family %q (registered: %s)",
+		family, strings.Join(Families(), ", "))
 }
 
 // EvalSet returns the paper's 14-workload evaluation subset, insensitive
@@ -153,7 +255,8 @@ func ByName(name string) (Workload, error) {
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
 }
 
 // Names returns all workload names.

@@ -1,6 +1,9 @@
 package workloads
 
 import (
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 
 	"ltrf/internal/core"
@@ -10,12 +13,19 @@ import (
 
 func TestSuiteShape(t *testing.T) {
 	ws := All()
-	if len(ws) != 35 {
-		t.Fatalf("suite has %d workloads, want 35 (§5)", len(ws))
+	if len(ws) != 39 {
+		t.Fatalf("registry has %d workloads, want 39 (35 paper + 4 pipelined-family)", len(ws))
+	}
+	paper := PaperSuite()
+	if len(paper) != 35 {
+		t.Fatalf("paper suite has %d workloads, want 35 (§5)", len(paper))
 	}
 	var sens, ins, eval int
 	suites := map[Suite]int{}
-	for _, w := range ws {
+	for _, w := range paper {
+		if w.Family != "" {
+			t.Errorf("%s: family workload %q leaked into PaperSuite", w.Name, w.Family)
+		}
 		if w.Sensitive {
 			sens++
 		} else {
@@ -36,6 +46,43 @@ func TestSuiteShape(t *testing.T) {
 		if suites[s] == 0 {
 			t.Errorf("no workloads from %s", s)
 		}
+	}
+	// The pipelined family must stay out of the paper's evaluation subset
+	// (the figure goldens depend on its membership).
+	for _, w := range ws {
+		if w.Family != "" && w.Eval {
+			t.Errorf("%s: family workloads must not join the eval subset", w.Name)
+		}
+	}
+}
+
+func TestFamilyPairs(t *testing.T) {
+	ps := Pairs()
+	if len(ps) != 2 {
+		t.Fatalf("Pairs() = %d families, want 2 (regpipe, smempipe)", len(ps))
+	}
+	for _, p := range ps {
+		if p.Pipelined.Name == "" || p.Naive.Name == "" {
+			t.Fatalf("family %q incomplete: pipelined=%q naive=%q", p.Family, p.Pipelined.Name, p.Naive.Name)
+		}
+		if !p.Pipelined.Pipelined || p.Naive.Pipelined {
+			t.Errorf("family %q: Pipelined flags inverted", p.Family)
+		}
+		if p.Pipelined.Family != p.Family || p.Naive.Family != p.Family {
+			t.Errorf("family %q: members carry wrong Family", p.Family)
+		}
+		got, err := FamilyPair(p.Family)
+		if err != nil || got.Pipelined.Name != p.Pipelined.Name {
+			t.Errorf("FamilyPair(%q) = %+v, %v", p.Family, got, err)
+		}
+	}
+	if _, err := FamilyPair("nope"); err == nil {
+		t.Error("unknown family must error")
+	} else if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "smempipe") {
+		t.Errorf("unknown-family error must list registered families: %v", err)
+	}
+	if got := Families(); len(got) != 2 || got[0] != "regpipe" || got[1] != "smempipe" {
+		t.Errorf("Families() = %v, want [regpipe smempipe]", got)
 	}
 }
 
@@ -192,11 +239,107 @@ func TestByName(t *testing.T) {
 	if err != nil || w.Name != "sgemm" || !w.Sensitive {
 		t.Errorf("ByName(sgemm) = %+v, %v", w, err)
 	}
-	if _, err := ByName("nonexistent"); err == nil {
-		t.Error("unknown name must error")
+	if w, err := ByName("smempipe"); err != nil || w.Family != "smempipe" || !w.Pipelined {
+		t.Errorf("ByName(smempipe) = %+v, %v", w, err)
 	}
-	if len(Names()) != 35 {
-		t.Error("Names must list 35 workloads")
+	if len(Names()) != 39 {
+		t.Error("Names must list 39 workloads")
+	}
+	// The unknown-name error lists every registered name (the registry
+	// convention regfile.Lookup set).
+	_, err = ByName("nonexistent")
+	if err == nil {
+		t.Fatal("unknown name must error")
+	}
+	for _, frag := range []string{`"nonexistent"`, "registered:", "vectoradd", "regpipe-naive", "tpacf"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ByName error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestAccessorOrderingInvariants pins the deterministic-order contracts the
+// drivers rely on, table-driven over every suite accessor: All and Names
+// agree element-for-element with the registry declaration order, EvalSet
+// lists the insensitive workloads first with each group name-sorted, and
+// repeated calls return equal, aliasing-free slices.
+func TestAccessorOrderingInvariants(t *testing.T) {
+	cases := []struct {
+		name  string
+		names func() []string
+		check func(t *testing.T, names []string)
+	}{
+		{"All declaration order", func() []string {
+			var out []string
+			for _, w := range All() {
+				out = append(out, w.Name)
+			}
+			return out
+		}, func(t *testing.T, names []string) {
+			if names[0] != "vectoradd" || names[len(names)-1] != "smempipe-naive" {
+				t.Errorf("All order endpoints = %q..%q, want vectoradd..smempipe-naive", names[0], names[len(names)-1])
+			}
+		}},
+		{"Names mirrors All", Names, func(t *testing.T, names []string) {
+			all := All()
+			if len(names) != len(all) {
+				t.Fatalf("Names len %d != All len %d", len(names), len(all))
+			}
+			for i, w := range all {
+				if names[i] != w.Name {
+					t.Errorf("Names[%d] = %q, All[%d].Name = %q", i, names[i], i, w.Name)
+				}
+			}
+		}},
+		{"EvalSet grouped and sorted", func() []string {
+			var out []string
+			for _, w := range EvalSet() {
+				out = append(out, w.Name)
+			}
+			return out
+		}, func(t *testing.T, names []string) {
+			es := EvalSet()
+			split := 0
+			for split < len(es) && !es[split].Sensitive {
+				split++
+			}
+			for i := split; i < len(es); i++ {
+				if !es[i].Sensitive {
+					t.Fatalf("EvalSet not grouped: insensitive %q after sensitive block", es[i].Name)
+				}
+			}
+			for _, group := range [][]string{names[:split], names[split:]} {
+				if !sort.StringsAreSorted(group) {
+					t.Errorf("EvalSet group not name-sorted: %v", group)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.names(), tc.names()
+			if len(a) == 0 {
+				t.Fatal("accessor returned nothing")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("accessor not deterministic: %v vs %v", a, b)
+			}
+			seen := map[string]bool{}
+			for _, n := range a {
+				if seen[n] {
+					t.Errorf("duplicate name %q", n)
+				}
+				seen[n] = true
+			}
+			tc.check(t, a)
+		})
+	}
+	// Returned slices must not alias the registry: mutating one call's
+	// result cannot corrupt the next.
+	ws := All()
+	ws[0].Name = "clobbered"
+	if All()[0].Name != "vectoradd" {
+		t.Error("All() aliases the internal registry slice")
 	}
 }
 

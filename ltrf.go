@@ -16,7 +16,10 @@
 //     (static data compression) and regdem (shared-memory demotion)
 //     plugins from related work (Simulate, Designs),
 //   - the Table 2 register-file technology model (Tech),
-//   - the 35-workload synthetic benchmark suite (Workloads, EvalWorkloads),
+//   - the 35-workload synthetic benchmark suite plus the software-pipelined
+//     workload family — register-prefetch and double-buffered shared-memory
+//     GEMMs, each paired with a naive counterpart of identical work
+//     (Workloads, PaperWorkloads, EvalWorkloads, WorkloadPairs),
 //   - and one experiment driver per table/figure of the paper's evaluation
 //     (Experiments, RunExperiment).
 //
@@ -83,6 +86,18 @@ const (
 	LTRFPlus   = sim.DesignLTRFPlus
 	LTRFStrand = sim.DesignLTRFStrand
 	Ideal      = sim.DesignIdeal
+)
+
+// Scheduler names a warp-scheduler variant for SimOptions.Scheduler.
+type Scheduler = sim.Scheduler
+
+// The warp-scheduler variants: the paper's two-level scheduler (default),
+// the static variant that never swaps a warp out on operand latency, and
+// the flat ablation with every resident warp schedulable.
+const (
+	TwoLevel        = sim.SchedTwoLevel
+	StaticScheduler = sim.SchedStatic
+	FlatScheduler   = sim.SchedFlat
 )
 
 // Designs returns the names of every registered register-file design in
@@ -244,6 +259,9 @@ type SimOptions struct {
 	ActiveWarps  int
 	IntervalRegs int
 	MaxWarps     int
+	// Scheduler selects the warp-scheduler variant (default TwoLevel). Use
+	// the exported constants or sim's Scheduler names.
+	Scheduler Scheduler
 	// MaxInstrs bounds the simulation (default 200k dynamic instructions).
 	MaxInstrs int64
 	// Chip re-calibrates the chip-level energy account ChipEnergy scores
@@ -289,6 +307,7 @@ func (o SimOptions) config() (sim.Config, error) {
 	if o.MaxWarps != 0 {
 		c.MaxWarps = o.MaxWarps
 	}
+	c.Scheduler = o.Scheduler
 	if o.MaxInstrs != 0 {
 		c.MaxInstrs = o.MaxInstrs
 		c.MaxCycles = o.MaxInstrs * 12
@@ -362,14 +381,33 @@ const (
 // Workload is a synthetic benchmark kernel.
 type Workload = workloads.Workload
 
-// Workloads returns the 35-kernel benchmark suite (§5).
+// WorkloadPair is a software-pipelined workload and its naive counterpart
+// of identical arithmetic work.
+type WorkloadPair = workloads.Pair
+
+// Workloads returns the full benchmark registry: the paper's 35-kernel
+// suite (§5) plus the software-pipelined family pairs.
 func Workloads() []Workload { return workloads.All() }
+
+// PaperWorkloads returns the paper's 35-kernel suite (§5) alone — the
+// population Tables 1 and 4 and the overheads figure describe.
+func PaperWorkloads() []Workload { return workloads.PaperSuite() }
 
 // EvalWorkloads returns the paper's 14-workload evaluation subset.
 func EvalWorkloads() []Workload { return workloads.EvalSet() }
 
 // WorkloadByName looks up one workload.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// WorkloadFamilies lists the software-pipelined families (the pipesweep
+// experiment's population).
+func WorkloadFamilies() []string { return workloads.Families() }
+
+// WorkloadPairs returns every pipelined/naive pair in declaration order.
+func WorkloadPairs() []WorkloadPair { return workloads.Pairs() }
+
+// WorkloadFamilyPair resolves one family's pair by name.
+func WorkloadFamilyPair(family string) (WorkloadPair, error) { return workloads.FamilyPair(family) }
 
 // Experiment is a regenerable paper artifact (table or figure).
 type Experiment = exp.Spec

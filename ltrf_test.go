@@ -72,14 +72,56 @@ func TestSimulateHeadlineResult(t *testing.T) {
 }
 
 func TestWorkloadAccessors(t *testing.T) {
-	if len(ltrf.Workloads()) != 35 {
-		t.Errorf("Workloads() = %d, want 35", len(ltrf.Workloads()))
+	if len(ltrf.Workloads()) != 39 {
+		t.Errorf("Workloads() = %d, want 39 (35 paper + 4 family)", len(ltrf.Workloads()))
+	}
+	if len(ltrf.PaperWorkloads()) != 35 {
+		t.Errorf("PaperWorkloads() = %d, want 35", len(ltrf.PaperWorkloads()))
 	}
 	if len(ltrf.EvalWorkloads()) != 14 {
 		t.Errorf("EvalWorkloads() = %d, want 14", len(ltrf.EvalWorkloads()))
 	}
 	if _, err := ltrf.WorkloadByName("sgemm"); err != nil {
 		t.Error(err)
+	}
+	pairs := ltrf.WorkloadPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("WorkloadPairs() = %d, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if !p.Pipelined.Pipelined || p.Naive.Pipelined || p.Pipelined.Family != p.Family {
+			t.Errorf("malformed pair %+v", p)
+		}
+	}
+	if _, err := ltrf.WorkloadFamilyPair("regpipe"); err != nil {
+		t.Error(err)
+	}
+	if len(ltrf.WorkloadFamilies()) != 2 {
+		t.Errorf("WorkloadFamilies() = %v, want 2 families", ltrf.WorkloadFamilies())
+	}
+}
+
+// TestSchedulerOption pins the façade's scheduler axis: the static variant
+// must never deactivate a warp, and must retire the same work.
+func TestSchedulerOption(t *testing.T) {
+	w, err := ltrf.WorkloadByName("regpipe-naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := w.Build(ltrf.UnrollMaxwell)
+	two, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, MaxInstrs: 20000}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := ltrf.Simulate(ltrf.SimOptions{Design: ltrf.LTRF, MaxInstrs: 20000, Scheduler: ltrf.StaticScheduler}, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Deactivations == 0 {
+		t.Error("two-level run of the naive kernel should deactivate")
+	}
+	if static.Deactivations != 0 {
+		t.Errorf("static run deactivated %d times", static.Deactivations)
 	}
 }
 
@@ -98,8 +140,8 @@ func TestTechAccessor(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	specs := ltrf.Experiments()
-	if len(specs) != 15 {
-		t.Errorf("Experiments() = %d entries, want 15 (13 paper artifacts + designspace + designsweep)", len(specs))
+	if len(specs) != 16 {
+		t.Errorf("Experiments() = %d entries, want 16 (13 paper artifacts + designspace + designsweep + pipesweep)", len(specs))
 	}
 	// Table 2 is cheap: run it through the public API.
 	tab, err := ltrf.RunExperiment("table2", ltrf.ExperimentOptions{Quick: true})
