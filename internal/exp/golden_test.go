@@ -20,10 +20,7 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	want, err := os.ReadFile("testdata/builtin_quick_golden.txt")
-	if err != nil {
-		t.Fatal(err)
-	}
+	const path = "testdata/builtin_quick_golden.txt"
 	o := Options{
 		Quick:     true,
 		Workloads: []string{"sgemm", "btree", "vectoradd"},
@@ -43,6 +40,17 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 		}
 		tab.Fprint(&sb)
 		sb.WriteString("\n")
+	}
+	if os.Getenv("LTRF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if got := sb.String(); got != string(want) {
 		t.Errorf("experiment tables diverged from the pre-registry golden output\n--- got ---\n%s\n--- want ---\n%s",

@@ -62,13 +62,37 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	return d
 }
 
+// Decode maps a transaction address to its (channel, bank, row) triple —
+// the address layout the whole timing model hangs off. At the defaults
+// (8 channels, 16 banks, 2KB rows) the bits decompose as
+//
+//	[0,7)   line offset (128B transactions)
+//	[7,10)  channel (line-granularity interleave)
+//	[10,11) column within the open row
+//	[11,15) bank
+//	[15,..) row
+//
+// The row ID covers every address bit above the bank field
+// (addr / (RowBytes*BanksPerChan)), so addresses that agree on (channel,
+// bank, row) all fall inside one RowBytes*BanksPerChan-aligned window —
+// within which a (channel, bank) pair owns at most RowBytes bytes. The
+// historical decode divided by RowBytes*BanksPerChan*Channels as if the
+// channel bits sat ABOVE the row field; since they actually interleave
+// below bit 11, that dropped bits 15-17 from the row ID and aliased
+// addresses 32KB apart in the same bank onto one row — false row-buffer
+// hits, deflated Activates, deflated DRAM energy.
+func (c DRAMConfig) Decode(addr uint64) (ch, bank int, row int64) {
+	ch = int(addr>>7) % c.Channels // channel interleave at line granularity
+	bank = int(addr>>11) % c.BanksPerChan
+	row = int64(addr / uint64(c.RowBytes*c.BanksPerChan))
+	return ch, bank, row
+}
+
 // Access services one 128B transaction beginning no earlier than cycle now,
 // returning its completion cycle.
 func (d *DRAM) Access(now int64, addr uint64) int64 {
 	d.Accesses++
-	ch := int(addr>>7) % d.cfg.Channels // channel interleave at line granularity
-	bankIdx := int(addr>>11) % d.cfg.BanksPerChan
-	row := int64(addr / uint64(d.cfg.RowBytes*d.cfg.BanksPerChan*d.cfg.Channels))
+	ch, bankIdx, row := d.cfg.Decode(addr)
 
 	b := &d.banks[ch][bankIdx]
 	start := now

@@ -1,0 +1,116 @@
+package memsys
+
+import (
+	"testing"
+)
+
+// TestDRAMRowDecodeNoFalseHit pins the row-aliasing bugfix: two addresses
+// 32KB apart share channel (bits 7-9) and bank (bits 11-14) at the default
+// geometry, and the pre-fix row ID (addr >> 18) dropped bits 15-17, so the
+// second access was wrongly served as a row-buffer hit. Under the fixed
+// decode it must open a new row: two activates, zero row hits.
+func TestDRAMRowDecodeNoFalseHit(t *testing.T) {
+	d := NewDRAM(DefaultDRAM())
+	const apart = 32 << 10 // flips bit 15: same channel, same bank
+	a, b := uint64(0x40000), uint64(0x40000+apart)
+
+	ca, ba, ra := d.cfg.Decode(a)
+	cb, bb, rb := d.cfg.Decode(b)
+	if ca != cb || ba != bb {
+		t.Fatalf("test addresses must share channel/bank: (%d,%d) vs (%d,%d)", ca, ba, cb, bb)
+	}
+	if ra == rb {
+		t.Fatalf("addresses 32KB apart in the same bank decode to the same row %d (the pre-fix aliasing)", ra)
+	}
+
+	d.Access(0, a)
+	d.Access(1000, b)
+	if d.RowHits != 0 || d.Activates != 2 {
+		t.Errorf("RowHits=%d Activates=%d after two different-row accesses, want 0 and 2", d.RowHits, d.Activates)
+	}
+
+	// a and b contend for the same row buffer: returning to a must miss
+	// again (b's activate closed a's row).
+	d.Access(2000, a)
+	if d.RowHits != 0 {
+		t.Errorf("RowHits=%d: returning to address a must MISS (b evicted its row)", d.RowHits)
+	}
+
+	// The row buffer still works where it should: differing only in
+	// bit 10 (the column bit) is the same row, so the second access hits.
+	d.Access(3000, b+1024)
+	d.Access(4000, b)
+	if d.RowHits != 1 {
+		t.Errorf("RowHits=%d after two same-row accesses to an open row, want 1", d.RowHits)
+	}
+}
+
+// TestDRAMDecodeRegionsDisjoint is the property the fix restores: every
+// (channel, bank, row) triple's preimage is confined to one
+// RowBytes*BanksPerChan-aligned window of the address space (so distinct
+// rows of a bank correspond to disjoint address regions), and within it a
+// triple owns at most RowBytes bytes. The pre-fix decode fails the span
+// bound: one triple collected addresses up to 224KB apart.
+func TestDRAMDecodeRegionsDisjoint(t *testing.T) {
+	cfg := DefaultDRAM()
+	window := uint64(cfg.RowBytes * cfg.BanksPerChan)
+
+	type triple struct {
+		ch, bank int
+		row      int64
+	}
+	type span struct{ min, max uint64 }
+	spans := map[triple]*span{}
+	bytesOf := map[triple]int{}
+
+	const scanB = 4 << 20
+	for addr := uint64(0); addr < scanB; addr += LineB {
+		ch, bank, row := cfg.Decode(addr)
+		k := triple{ch, bank, row}
+		if s, ok := spans[k]; !ok {
+			spans[k] = &span{addr, addr}
+		} else {
+			if addr < s.min {
+				s.min = addr
+			}
+			if addr > s.max {
+				s.max = addr
+			}
+		}
+		bytesOf[k] += LineB
+	}
+
+	for k, s := range spans {
+		if s.min/window != s.max/window {
+			t.Fatalf("triple %+v spans windows: addresses %#x..%#x (>%d bytes apart)", k, s.min, s.max, window)
+		}
+		if bytesOf[k] > cfg.RowBytes {
+			t.Fatalf("triple %+v holds %d bytes, exceeding the %dB row buffer", k, bytesOf[k], cfg.RowBytes)
+		}
+	}
+}
+
+// FuzzDRAMDecode fuzzes the disjointness contract on address pairs: two
+// addresses mapping to the same (channel, bank, row) must lie in the same
+// RowBytes*BanksPerChan-aligned window, and two addresses in different
+// windows must never share a row within the same bank.
+func FuzzDRAMDecode(f *testing.F) {
+	f.Add(uint64(0), uint64(32<<10))
+	f.Add(uint64(0x40000), uint64(0x40000+(32<<10)))
+	f.Add(uint64(0), uint64(1024))
+	f.Add(uint64(1<<32), uint64(1<<32+128))
+	cfg := DefaultDRAM()
+	window := uint64(cfg.RowBytes * cfg.BanksPerChan)
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		ca, ba, ra := cfg.Decode(a)
+		cb, bb, rb := cfg.Decode(b)
+		if ca < 0 || ca >= cfg.Channels || ba < 0 || ba >= cfg.BanksPerChan || ra < 0 {
+			t.Fatalf("Decode(%#x) out of range: ch=%d bank=%d row=%d", a, ca, ba, ra)
+		}
+		sameTriple := ca == cb && ba == bb && ra == rb
+		sameWindow := a/window == b/window
+		if sameTriple && !sameWindow {
+			t.Fatalf("addresses %#x and %#x share (ch=%d,bank=%d,row=%d) across %d-byte windows", a, b, ca, ba, ra, window)
+		}
+	})
+}
