@@ -45,6 +45,8 @@ func main() {
 		n        = flag.Int("n", 0, "registers per register-interval (0 = default 16)")
 		instrs   = flag.Int64("instrs", 0, "dynamic instruction budget (0 = default)")
 		sched    = flag.String("sched", "", "warp scheduler: twolevel (default) | static | flat")
+		prefetch = flag.String("prefetch", "", "hardware prefetcher: off (default) | stride | cta")
+		ctas     = flag.Int("ctas", 0, "resident CTAs per SM (0 = one CTA; splits warps, barriers, and the shared-memory budget)")
 		cycleAcc = flag.Bool("cycle-accurate", false, "tick one cycle per pass instead of the event-driven fast-forward (identical results, slower; for debugging/measurement)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none); Ctrl-C aborts too")
 		list     = flag.Bool("list", false, "list workloads")
@@ -97,6 +99,8 @@ func main() {
 		Design: d, TechConfig: *tech, LatencyX: *latency,
 		ActiveWarps: *warps, IntervalRegs: *n, MaxInstrs: *instrs,
 		Scheduler:          ltrf.Scheduler(*sched),
+		Prefetch:           *prefetch,
+		CTAsPerSM:          *ctas,
 		ForceCycleAccurate: *cycleAcc,
 	}, w.Build(3))
 	if err != nil {
@@ -117,6 +121,10 @@ func main() {
 	fmt.Printf("scheduler       %d activations, %d deactivations\n", res.Activations, res.Deactivations)
 	fmt.Printf("memory          L1 %.1f%%, L2 %.1f%%, DRAM row hit %.1f%%\n",
 		100*res.Mem.L1HitRate, 100*res.Mem.L2HitRate, 100*res.Mem.DRAMRowHit)
+	if res.Mem.PrefIssued > 0 || res.Mem.PrefDropped > 0 {
+		fmt.Printf("hw prefetch     %d issued (%d useful, %d late, %d unused), %d dropped\n",
+			res.Mem.PrefIssued, res.Mem.PrefUseful, res.Mem.PrefLate, res.Mem.PrefUnused, res.Mem.PrefDropped)
+	}
 
 	rf, err := ltrf.RFEnergy(res)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
 	"ltrf/internal/sim"
 	"ltrf/internal/store"
@@ -39,6 +40,12 @@ type Point struct {
 	// Scheduler selects the warp-scheduler variant (empty = the two-level
 	// default). pipesweep's scheduler-sensitivity rows set it.
 	Scheduler sim.Scheduler
+
+	// Prefetch selects the hardware prefetcher mode ("" = off; "stride",
+	// "cta"); CTAs the resident thread blocks per SM (0 = the single-CTA
+	// default). prefsweep's rows set both.
+	Prefetch string
+	CTAs     int
 }
 
 // point builds the canonical key for a simulation at the options' budget.
@@ -73,6 +80,8 @@ func (p Point) config() (sim.Config, error) {
 		c.ActiveWarps = p.ActiveWarps
 	}
 	c.Scheduler = p.Scheduler
+	c.Mem.Prefetch.Mode = memsys.PrefetchMode(p.Prefetch)
+	c.CTAsPerSM = p.CTAs
 	return c, nil
 }
 
@@ -261,6 +270,12 @@ func (p Point) canon() Point {
 	}
 	if p.Scheduler == sim.SchedTwoLevel {
 		p.Scheduler = "" // the resolved default: shares the memo with unset
+	}
+	if p.Prefetch == "off" {
+		p.Prefetch = "" // the explicit spelling of the default
+	}
+	if p.CTAs == 1 {
+		p.CTAs = 0 // one CTA per SM is the resolved default
 	}
 	return p
 }

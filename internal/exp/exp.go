@@ -190,6 +190,7 @@ func Registry() []Spec {
 		{"designspace", "IPC and RF power of every registered design (open registry)", DesignSpace},
 		{"designsweep", "Energy-delay product of every registered design across the latency sweep", DesignSweep},
 		{"pipesweep", "Software-pipelined vs naive kernels across designs, latency, and schedulers", PipeSweep},
+		{"prefsweep", "Hardware prefetching (stride / CTA-aware) vs software pipelining across designs and latency", PrefSweep},
 	}
 }
 

@@ -29,9 +29,10 @@ func TestBuiltinDesignTablesGolden(t *testing.T) {
 	var sb strings.Builder
 	for _, s := range Registry() {
 		// The registry-driven experiments post-date the pre-registry golden
-		// capture; designsweep and pipesweep have their own goldens
-		// (TestDesignSweepGolden, TestPipeSweepGolden).
-		if s.ID == "designspace" || s.ID == "designsweep" || s.ID == "pipesweep" {
+		// capture; designsweep, pipesweep, and prefsweep have their own
+		// goldens (TestDesignSweepGolden, TestPipeSweepGolden,
+		// TestPrefSweepGolden).
+		if s.ID == "designspace" || s.ID == "designsweep" || s.ID == "pipesweep" || s.ID == "prefsweep" {
 			continue
 		}
 		tab, err := s.Run(o)

@@ -35,6 +35,12 @@ func (p Point) storeKey() string {
 	if p.Scheduler != "" {
 		key += fmt.Sprintf(";sched=%s", p.Scheduler)
 	}
+	if p.Prefetch != "" {
+		key += fmt.Sprintf(";pref=%s", p.Prefetch)
+	}
+	if p.CTAs != 0 {
+		key += fmt.Sprintf(";ctas=%d", p.CTAs)
+	}
 	return key
 }
 

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestPrefSweepGolden pins the prefsweep table byte-for-byte on the full
+// family (both pairs) across every registered design. Regenerate with
+// LTRF_UPDATE_GOLDEN=1 after an intentional model change.
+func TestPrefSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const path = "testdata/prefsweep_quick_golden.txt"
+	o := Options{
+		Quick:  true,
+		Engine: NewEngine(),
+	}
+	tab, err := PrefSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	if os.Getenv("LTRF_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("prefsweep table diverged from golden\n--- got ---\n%s\n--- want ---\n%s", got, string(want))
+	}
+}
+
+// TestPrefSweepNarrowsGap pins the acceptance criterion the experiment was
+// built for: at some (design, pair, latency, prefetcher) point, hardware
+// prefetching must move the pipelined-vs-naive CPI ratio closer to 1 than
+// the prefetcher-off control — i.e. the prefetcher hides in hardware some
+// of the latency the pipelined member hides in software, narrowing the gap
+// the naive member pays.
+func TestPrefSweepNarrowsGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := PrefSweep(Options{Quick: true, Engine: NewEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowed, total := -1, -1
+	for _, n := range tab.Notes {
+		if strings.HasPrefix(n, "prefetching narrows") {
+			if _, err := fmt.Sscanf(n, "prefetching narrows the pipelined-vs-naive gap at %d of %d", &narrowed, &total); err != nil {
+				t.Fatalf("unparseable narrowing note %q: %v", n, err)
+			}
+		}
+	}
+	if narrowed < 0 {
+		t.Fatal("prefsweep table missing the gap-narrowing note")
+	}
+	if narrowed < 1 {
+		t.Errorf("gap narrowed at %d of %d points: the quick grid must contain at least one point where hardware prefetching closes part of the software-pipelining gap", narrowed, total)
+	}
+	if total < 1 {
+		t.Errorf("narrowing note counted %d comparison points; the sweep evaluated nothing", total)
+	}
+	// Sanity on the sweep's own counters: the prefetcher-on rows must report
+	// a real accuracy figure (the off rows render "-").
+	acc := len(tab.Headers) - 2
+	onAcc := 0
+	for _, row := range tab.Rows {
+		if strings.HasSuffix(row[0], "/off") {
+			if row[acc] != "-" {
+				t.Errorf("row %s reports accuracy %q with the prefetcher off", row[0], row[acc])
+			}
+		} else if row[acc] != "-" {
+			onAcc++
+		}
+	}
+	if onAcc == 0 {
+		t.Error("no prefetcher-on row reports an accuracy figure; the prefetcher never issued")
+	}
+}

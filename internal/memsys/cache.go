@@ -17,11 +17,18 @@ type CacheConfig struct {
 	Ways  int // associativity
 }
 
-// CacheStats counts cache events.
+// CacheStats counts cache events. Accesses/Hits/Misses are demand traffic
+// only; the Pref* counters account for hardware-prefetch fills (Fill), the
+// demand hits they earn (useful prefetches), and prefetched lines evicted
+// without ever being referenced (the pollution proxy).
 type CacheStats struct {
 	Accesses int64
 	Hits     int64
 	Misses   int64
+
+	PrefFills  int64 // lines installed by Fill
+	PrefUseful int64 // demand hits on a still-marked prefetched line
+	PrefUnused int64 // prefetched lines evicted before any demand hit
 }
 
 // HitRate returns hits/accesses (0 if no accesses).
@@ -33,9 +40,10 @@ func (s CacheStats) HitRate() float64 {
 }
 
 type cacheLine struct {
-	tag uint64
-	lru uint64 // last access stamp
-	gen uint64 // line is valid iff gen matches the cache's generation
+	tag  uint64
+	lru  uint64 // last access stamp
+	gen  uint64 // line is valid iff gen matches the cache's generation
+	pref bool   // installed by a prefetch and not yet demand-referenced
 }
 
 // lineBuf is a recyclable line array plus its ever-increasing generation
@@ -168,25 +176,87 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	for i := range lines {
 		if lines[i].gen == c.gen && lines[i].tag == tag {
 			lines[i].lru = c.stamp
+			if lines[i].pref {
+				lines[i].pref = false
+				c.Stats.PrefUseful++
+			}
 			c.Stats.Hits++
 			return true
 		}
 	}
 	c.Stats.Misses++
 	if !write {
-		victim := 0
-		for i := range lines {
-			if lines[i].gen != c.gen {
-				victim = i
-				break
-			}
-			if lines[i].lru < lines[victim].lru {
-				victim = i
-			}
-		}
-		lines[victim] = cacheLine{tag: tag, gen: c.gen, lru: c.stamp}
+		c.install(lines, tag, false)
 	}
 	return false
+}
+
+// install allocates a line in the set, evicting LRU; an evicted prefetched
+// line that was never demand-referenced counts as pollution (PrefUnused).
+func (c *Cache) install(lines []cacheLine, tag uint64, pref bool) {
+	victim := 0
+	for i := range lines {
+		if lines[i].gen != c.gen {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	if lines[victim].gen == c.gen && lines[victim].pref {
+		c.Stats.PrefUnused++
+	}
+	lines[victim] = cacheLine{tag: tag, gen: c.gen, lru: c.stamp, pref: pref}
+}
+
+// Contains probes for the line containing addr without touching LRU state
+// or demand statistics (the prefetcher's duplicate check).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.shift
+	var set int
+	var tag uint64
+	if c.setMask != 0 {
+		set = int(lineAddr & c.setMask)
+		tag = lineAddr >> c.setShift
+	} else {
+		set = int(lineAddr % uint64(c.nsets))
+		tag = lineAddr / uint64(c.nsets)
+	}
+	lines := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range lines {
+		if lines[i].gen == c.gen && lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing addr on behalf of a hardware prefetch:
+// no demand statistics move, the line is marked prefetched (a later demand
+// hit counts it useful, an eviction before that counts it pollution).
+// Returns false without side effects when the line is already present.
+func (c *Cache) Fill(addr uint64) bool {
+	lineAddr := addr >> c.shift
+	var set int
+	var tag uint64
+	if c.setMask != 0 {
+		set = int(lineAddr & c.setMask)
+		tag = lineAddr >> c.setShift
+	} else {
+		set = int(lineAddr % uint64(c.nsets))
+		tag = lineAddr / uint64(c.nsets)
+	}
+	lines := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range lines {
+		if lines[i].gen == c.gen && lines[i].tag == tag {
+			return false
+		}
+	}
+	c.stamp++
+	c.Stats.PrefFills++
+	c.install(lines, tag, true)
+	return true
 }
 
 // Flush invalidates all lines (between kernel launches). O(1): it bumps

@@ -21,6 +21,11 @@ type HierarchyConfig struct {
 	Shared SharedMemConfig
 
 	DRAM DRAMConfig
+
+	// Prefetch configures the hardware stride prefetcher (off by default).
+	// Enabled prefetchers issue real DRAM bursts — they move the DRAM
+	// counters and therefore chip energy whether or not the lines are used.
+	Prefetch PrefetchConfig
 }
 
 // DefaultHierarchy returns the Table 3 memory system: 16KB 4-way L1D with
@@ -52,7 +57,13 @@ type Hierarchy struct {
 	// for its banks and capacity.
 	Shared *SharedMem
 
-	scratch []uint64
+	// pf is the hardware prefetcher (nil when off). It is SM-private even
+	// when the L2/DRAM are shared: each SM's view trains on its own demand
+	// stream and fills the (possibly shared) L2.
+	pf *Prefetcher
+
+	scratch   []uint64
+	pfScratch []uint64
 
 	// LongLatencyThreshold is the completion latency above which a load is
 	// treated as long-latency by the two-level scheduler (an L1 miss).
@@ -94,6 +105,16 @@ type Events struct {
 	GlobalLoads   int64
 	GlobalStores  int64
 	ConstAccesses int64
+
+	// Hardware-prefetcher counters (all zero with prefetching off).
+	// Issued/Late/Dropped are SM-private (each view runs its own
+	// prefetcher); Useful/Unused live in the line marks of the target cache,
+	// so under a shared L2 they are chip-wide like the L2 hit counters.
+	PrefIssued  int64 // prefetch bursts sent to DRAM (each also counts in DRAMAccesses)
+	PrefUseful  int64 // demand hits on prefetched lines
+	PrefLate    int64 // demand arrived while the fill was in flight (partial hiding)
+	PrefUnused  int64 // prefetched lines evicted without a demand hit (pollution)
+	PrefDropped int64 // candidates skipped (cached, in flight, table-full, throttled)
 }
 
 // AddPrivate accumulates o's SM-PRIVATE counters — L1, the shared-memory
@@ -113,10 +134,25 @@ func (e *Events) AddPrivate(o Events) {
 	e.GlobalLoads += o.GlobalLoads
 	e.GlobalStores += o.GlobalStores
 	e.ConstAccesses += o.ConstAccesses
+	e.PrefIssued += o.PrefIssued
+	e.PrefLate += o.PrefLate
+	e.PrefDropped += o.PrefDropped
 }
 
 // Events returns the aggregate event counters of this hierarchy view.
 func (h *Hierarchy) Events() Events {
+	ev := h.eventsBase()
+	if h.pf != nil {
+		ev.PrefIssued = h.pf.Issued
+		ev.PrefLate = h.pf.Late
+		ev.PrefDropped = h.pf.Dropped
+		ev.PrefUseful = h.L2.Stats.PrefUseful + h.L1D.Stats.PrefUseful
+		ev.PrefUnused = h.L2.Stats.PrefUnused + h.L1D.Stats.PrefUnused
+	}
+	return ev
+}
+
+func (h *Hierarchy) eventsBase() Events {
 	return Events{
 		L1Accesses:         h.L1D.Stats.Accesses,
 		L1Hits:             h.L1D.Stats.Hits,
@@ -147,6 +183,9 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		ownsL2: true,
 	}
 	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
+	if cfg.Prefetch.Enabled() {
+		h.pf = NewPrefetcher(cfg.Prefetch)
+	}
 	return h
 }
 
@@ -171,6 +210,9 @@ func NewShared(cfg HierarchyConfig, l2 *Cache, dram *DRAM) *Hierarchy {
 		Shared: NewSharedMem(cfg.Shared.Normalized(cfg.SharedCycles)),
 	}
 	h.LongLatencyThreshold = int64(cfg.L1HitCycles) + 8
+	if cfg.Prefetch.Enabled() {
+		h.pf = NewPrefetcher(cfg.Prefetch)
+	}
 	return h
 }
 
@@ -178,9 +220,12 @@ func NewShared(cfg HierarchyConfig, l2 *Cache, dram *DRAM) *Hierarchy {
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 // Access services a warp memory instruction whose operands are ready at
-// cycle now. It returns the completion cycle of the slowest transaction and
-// whether the access is long-latency (missed L1 / went off-core).
-func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID int, iter int64) (done int64, longLat bool) {
+// cycle now. pc is the instruction's static program counter (the prefetch
+// tables' index) and ctaID the issuing warp's CTA (the CTA-aware
+// prefetcher's stream key; 0 for single-CTA configurations). It returns the
+// completion cycle of the slowest transaction and whether the access is
+// long-latency (missed L1 / went off-core).
+func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID, ctaID, pc int, iter int64) (done int64, longLat bool) {
 	m := in.Mem
 	switch m.Space {
 	case isa.SpaceShared:
@@ -213,10 +258,59 @@ func (h *Hierarchy) Access(now int64, in *isa.Instr, warpID int, iter int64) (do
 			enterDRAM := now + int64(h.cfg.L1HitCycles+h.cfg.L2HitCycles)
 			t = h.DRAM.Access(enterDRAM, addr) + int64(h.cfg.ReturnCycles)
 		}
+		if h.pf != nil {
+			// A hit on a line whose prefetch fill is still in flight cannot
+			// complete before the fill does: the prefetch was LATE and hides
+			// only part of the miss latency.
+			if rdy, late := h.pf.fillReadyAt(now, lineKey(addr)); late {
+				h.pf.Late++
+				if rdy > t {
+					t = rdy
+				}
+			}
+		}
 		if t > done {
 			done = t
 		}
 	}
+	if h.pf != nil && !write && len(h.scratch) > 0 {
+		h.runPrefetcher(now, ctaID, warpID, pc)
+	}
 	longLat = done-now > h.LongLatencyThreshold
 	return done, longLat
+}
+
+// lineKey aligns an address to its 128B line — the prefetcher's unit.
+func lineKey(addr uint64) uint64 { return addr &^ uint64(LineB-1) }
+
+// runPrefetcher trains the configured tables on the warp's leading
+// transaction address and issues the resulting candidate fills into the L2
+// (and L1 when configured). A fill is a real DRAM burst: it occupies bank
+// and bus timing and moves the DRAM counters — so prefetching costs DRAM
+// energy whether or not the line is ever used.
+func (h *Hierarchy) runPrefetcher(now int64, cta, warpID, pc int) {
+	h.pfScratch = h.pf.candidates(cta, warpID, pc, h.scratch[0], h.pfScratch[:0])
+	for _, cand := range h.pfScratch {
+		line := lineKey(cand)
+		if _, busy := h.pf.inflight[line]; busy {
+			h.pf.Dropped++
+			continue
+		}
+		if h.L2.Contains(line) {
+			h.pf.Dropped++
+			continue
+		}
+		if len(h.pf.inflight) >= maxInflight {
+			h.pf.Dropped++
+			continue
+		}
+		h.L2.Fill(line)
+		if h.cfg.Prefetch.IntoL1 {
+			h.L1D.Fill(line)
+		}
+		enterDRAM := now + int64(h.cfg.L1HitCycles+h.cfg.L2HitCycles)
+		fillDone := h.DRAM.Access(enterDRAM, line) + int64(h.cfg.ReturnCycles)
+		h.pf.track(line, fillDone)
+		h.pf.Issued++
+	}
 }

@@ -163,12 +163,12 @@ func TestTransactionsRegionsDisjoint(t *testing.T) {
 func TestHierarchySharedAndConst(t *testing.T) {
 	h := NewHierarchy(DefaultHierarchy())
 	sh := &isa.Instr{Op: isa.OpLdShared, Mem: &isa.MemAccess{Space: isa.SpaceShared, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
-	done, long := h.Access(100, sh, 0, 0)
+	done, long := h.Access(100, sh, 0, 0, 0, 0)
 	if done != 100+int64(h.Config().SharedCycles) || long {
 		t.Errorf("shared access: done=%d long=%v", done, long)
 	}
 	co := &isa.Instr{Op: isa.OpLdConst, Mem: &isa.MemAccess{Space: isa.SpaceConst, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
-	done, long = h.Access(100, co, 0, 0)
+	done, long = h.Access(100, co, 0, 0, 0, 0)
 	if done != 100+int64(h.Config().ConstCycles) || long {
 		t.Errorf("const access: done=%d long=%v", done, long)
 	}
@@ -181,13 +181,13 @@ func TestHierarchyL1HitVsMiss(t *testing.T) {
 	var coldMax, warmMax int64
 	iters := int64(4 << 10 / 128)
 	for i := int64(0); i < iters; i++ {
-		done, _ := h.Access(0, ld, 0, i)
+		done, _ := h.Access(0, ld, 0, 0, 0, i)
 		if done > coldMax {
 			coldMax = done
 		}
 	}
 	for i := int64(0); i < iters; i++ {
-		done, long := h.Access(0, ld, 0, i)
+		done, long := h.Access(0, ld, 0, 0, 0, i)
 		if done > warmMax {
 			warmMax = done
 		}
@@ -206,7 +206,7 @@ func TestHierarchyL1HitVsMiss(t *testing.T) {
 func TestHierarchyLongLatencySignal(t *testing.T) {
 	h := NewHierarchy(DefaultHierarchy())
 	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatRandom, Region: 3, FootprintB: 64 << 20}}
-	_, long := h.Access(0, ld, 0, 0)
+	_, long := h.Access(0, ld, 0, 0, 0, 0)
 	if !long {
 		t.Error("cold scattered access over 64MB must be long-latency")
 	}
@@ -219,11 +219,11 @@ func TestSharedL2AcrossSMs(t *testing.T) {
 	h1 := NewShared(cfg, l2, dram)
 	h2 := NewShared(cfg, l2, dram)
 	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 0, FootprintB: 1 << 16}}
-	h1.Access(0, ld, 0, 0)
+	h1.Access(0, ld, 0, 0, 0, 0)
 	// Second SM accessing the same line: misses its private L1 but hits
 	// the shared L2.
 	before := l2.Stats.Hits
-	h2.Access(0, ld, 0, 0)
+	h2.Access(0, ld, 0, 0, 0, 0)
 	if l2.Stats.Hits != before+1 {
 		t.Errorf("L2 should be shared across SM views (hits %d -> %d)", before, l2.Stats.Hits)
 	}
@@ -236,7 +236,7 @@ func TestQuickHierarchyBounds(t *testing.T) {
 	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 18}}
 	f := func(nowRaw uint16, iterRaw uint8) bool {
 		now := int64(nowRaw)
-		done, _ := h.Access(now, ld, 1, int64(iterRaw))
+		done, _ := h.Access(now, ld, 1, 0, 0, int64(iterRaw))
 		return done >= now+int64(h.Config().L1HitCycles)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -258,10 +258,10 @@ func TestHierarchyEventsReconcile(t *testing.T) {
 	co := &isa.Instr{Op: isa.OpLdConst, Mem: &isa.MemAccess{Space: isa.SpaceConst, Pattern: isa.PatCoalesced, FootprintB: 1 << 10}}
 	now := int64(0)
 	for i := int64(0); i < 200; i++ {
-		now, _ = h.Access(now, gl, int(i%7), i)
-		now, _ = h.Access(now, st, int(i%5), i)
-		now, _ = h.Access(now, sh, 0, i)
-		now, _ = h.Access(now, co, 0, i)
+		now, _ = h.Access(now, gl, int(i%7), 0, 0, i)
+		now, _ = h.Access(now, st, int(i%5), 0, 0, i)
+		now, _ = h.Access(now, sh, 0, 0, 0, i)
+		now, _ = h.Access(now, co, 0, 0, 0, i)
 	}
 	// A register-file spill client contends for the same scratchpad banks
 	// but must never show up as a wide access.

@@ -1,0 +1,356 @@
+package memsys
+
+import "fmt"
+
+// PrefetchMode selects the hardware prefetcher wired into a Hierarchy.
+type PrefetchMode string
+
+const (
+	// PrefetchOff disables hardware prefetching (the default; "off" is
+	// accepted as an explicit spelling and normalizes to this).
+	PrefetchOff PrefetchMode = ""
+	// PrefetchStride is the PC-indexed reference-prediction-table stride
+	// prefetcher (Chen & Baer): per-PC {last address, stride, 2-bit state},
+	// predicting addr+stride·k once a stride has been confirmed STEADY.
+	PrefetchStride PrefetchMode = "stride"
+	// PrefetchCTA layers the CTA-aware scheme on top of the stride RPT: a
+	// PerCTA table records the leading warp (first of its CTA to reach a PC)
+	// and its base address, a Dist table learns the warp-rank distance from
+	// trailing warps of the same CTA, and the leading warp's accesses
+	// prefetch addr+dist·rank on behalf of the warps trailing it.
+	PrefetchCTA PrefetchMode = "cta"
+)
+
+// PrefetchConfig parameterizes the hardware prefetcher. The zero value is
+// off; Normalized fills defaults for the table geometry.
+type PrefetchConfig struct {
+	Mode   PrefetchMode
+	Degree int  // candidate lines per trigger (default 2)
+	IntoL1 bool // additionally install prefetched lines into the L1D
+
+	TableSize     int // RPT entries (default 64, direct-mapped by PC)
+	CTATableSize  int // PerCTA and Dist table entries (default 4)
+	MispredThresh int // Dist mispredictions before a PC is throttled (default 128)
+}
+
+// Enabled reports whether any prefetcher is configured.
+func (c PrefetchConfig) Enabled() bool {
+	return c.Mode != PrefetchOff && c.Mode != "off"
+}
+
+// Normalized fills zero fields with the default geometry.
+func (c PrefetchConfig) Normalized() PrefetchConfig {
+	if c.Mode == "off" {
+		c.Mode = PrefetchOff
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 64
+	}
+	if c.CTATableSize == 0 {
+		c.CTATableSize = 4
+	}
+	if c.MispredThresh == 0 {
+		c.MispredThresh = 128
+	}
+	return c
+}
+
+// Validate rejects unknown modes and nonsensical geometry.
+func (c PrefetchConfig) Validate() error {
+	switch c.Mode {
+	case PrefetchOff, "off", PrefetchStride, PrefetchCTA:
+	default:
+		return fmt.Errorf("memsys: unknown prefetch mode %q (known: off, %s, %s)", c.Mode, PrefetchStride, PrefetchCTA)
+	}
+	if c.Degree < 0 || c.TableSize < 0 || c.CTATableSize < 0 || c.MispredThresh < 0 {
+		return fmt.Errorf("memsys: prefetch geometry must be non-negative (%+v)", c)
+	}
+	return nil
+}
+
+// rptState is the reference-prediction-table state machine (Chen & Baer).
+type rptState uint8
+
+const (
+	rptInit rptState = iota
+	rptTransient
+	rptSteady
+	rptNoPred
+)
+
+func (s rptState) String() string {
+	switch s {
+	case rptInit:
+		return "INIT"
+	case rptTransient:
+		return "TRANSIENT"
+	case rptSteady:
+		return "STEADY"
+	default:
+		return "NO_PRED"
+	}
+}
+
+// rptEntry is one reference-prediction-table row. pc doubles as the full
+// tag (the table is direct-mapped by pc modulo its size); -1 marks empty.
+type rptEntry struct {
+	pc       int64
+	lastAddr uint64
+	stride   int64
+	state    rptState
+}
+
+// observe trains the entry on a demand address and reports whether the
+// post-transition state licenses a prefetch. The transitions are the
+// classic four-state diagram:
+//
+//	INIT      — correct → STEADY; incorrect → TRANSIENT, stride retrained
+//	TRANSIENT — correct → STEADY; incorrect → NO_PRED, stride retrained
+//	STEADY    — correct → STEADY; incorrect → INIT (stride kept: one miss
+//	            in a steady stream is noise, not a new pattern)
+//	NO_PRED   — correct → TRANSIENT; incorrect → stays, stride retrained
+//
+// where "correct" means the demand address equals lastAddr+stride.
+func (e *rptEntry) observe(addr uint64) (stride int64, predict bool) {
+	correct := int64(addr) == int64(e.lastAddr)+e.stride
+	switch e.state {
+	case rptInit:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = int64(addr) - int64(e.lastAddr)
+			e.state = rptTransient
+		}
+	case rptTransient:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = int64(addr) - int64(e.lastAddr)
+			e.state = rptNoPred
+		}
+	case rptSteady:
+		if !correct {
+			e.state = rptInit
+		}
+	case rptNoPred:
+		if correct {
+			e.state = rptTransient
+		} else {
+			e.stride = int64(addr) - int64(e.lastAddr)
+		}
+	}
+	e.lastAddr = addr
+	return e.stride, e.state == rptSteady && e.stride != 0
+}
+
+// perCTAEntry tracks one (CTA, PC) stream: the leading warp — the first of
+// its CTA to touch the PC — and its base address, against which trailing
+// warps' bases define the warp-rank distance.
+type perCTAEntry struct {
+	used     bool
+	cta      int32
+	pc       int64
+	leadWarp int32
+	leadBase uint64
+}
+
+// distEntry is the learned per-warp-rank address distance for one PC, with
+// the misprediction throttle: once mispred reaches the threshold the PC
+// stops prefetching (the gpgpu-sim CTA_Aware_Prefetcher's MISPRED_THRESH).
+type distEntry struct {
+	used    bool
+	pc      int64
+	stride  int64
+	mispred int32
+}
+
+// maxInflight bounds the prefetcher's in-flight fill tracking; candidates
+// beyond it are dropped (counted), never queued.
+const maxInflight = 64
+
+// Prefetcher issues hardware prefetch fills into a cache level on behalf of
+// demand misses. All state mutates only inside Hierarchy.Access — i.e.
+// during instruction issue — which preserves the event-driven clock's
+// idle-pass invariant (an idle pass cannot change prefetcher state).
+type Prefetcher struct {
+	cfg    PrefetchConfig
+	rpt    []rptEntry
+	perCTA []perCTAEntry
+	dist   []distEntry
+	victim int // round-robin eviction cursor for the PerCTA table
+
+	// inflight maps a line address to the absolute cycle its fill completes
+	// (DRAM burst + return path). Entries are reaped lazily on lookup.
+	inflight map[uint64]int64
+
+	Issued  int64 // prefetch bursts sent to DRAM
+	Late    int64 // demand arrived while the fill was still in flight
+	Dropped int64 // candidates skipped: already cached, in flight, table-full, or throttled
+}
+
+// NewPrefetcher builds a prefetcher from a normalized config.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	cfg = cfg.Normalized()
+	p := &Prefetcher{
+		cfg:      cfg,
+		rpt:      make([]rptEntry, cfg.TableSize),
+		inflight: make(map[uint64]int64, maxInflight),
+	}
+	for i := range p.rpt {
+		p.rpt[i].pc = -1
+	}
+	if cfg.Mode == PrefetchCTA {
+		p.perCTA = make([]perCTAEntry, cfg.CTATableSize)
+		p.dist = make([]distEntry, cfg.CTATableSize)
+	}
+	return p
+}
+
+// observeRPT trains the stride table on a demand access and returns the
+// prefetch candidate addresses (addr+stride·k, k=1..Degree) when the entry
+// is STEADY. A PC conflict (direct-mapped) re-allocates the slot in INIT.
+func (p *Prefetcher) observeRPT(pc int, addr uint64, out []uint64) []uint64 {
+	e := &p.rpt[pc%len(p.rpt)]
+	if e.pc != int64(pc) {
+		*e = rptEntry{pc: int64(pc), lastAddr: addr, state: rptInit}
+		return out
+	}
+	stride, predict := e.observe(addr)
+	if !predict {
+		return out
+	}
+	for k := int64(1); k <= int64(p.cfg.Degree); k++ {
+		out = append(out, uint64(int64(addr)+stride*k))
+	}
+	return out
+}
+
+// observeCTA trains the PerCTA/Dist tables and returns prefetch candidates.
+// A leading warp's access prefetches addr+dist·rank for the Degree warps
+// trailing it; a trailing warp's access trains (or throttles) the Dist
+// entry by comparing its base against the leader's.
+func (p *Prefetcher) observeCTA(cta, warpID, pc int, addr uint64, out []uint64) []uint64 {
+	e := p.lookupPerCTA(cta, pc)
+	if e == nil {
+		// Allocate round-robin: the table is tiny (MAX_CTA_TABLE_SIZE), so
+		// a deterministic cursor stands in for LRU.
+		e = &p.perCTA[p.victim%len(p.perCTA)]
+		p.victim++
+		*e = perCTAEntry{used: true, cta: int32(cta), pc: int64(pc), leadWarp: int32(warpID), leadBase: addr}
+		return out
+	}
+	d := p.lookupDist(pc)
+	if int32(warpID) == e.leadWarp {
+		// Leading warp: prefetch on behalf of the trailing warps.
+		if d == nil || d.stride == 0 || d.mispred >= int32(p.cfg.MispredThresh) {
+			if d != nil && d.mispred >= int32(p.cfg.MispredThresh) {
+				p.Dropped++
+			}
+			return out
+		}
+		for r := int64(1); r <= int64(p.cfg.Degree); r++ {
+			out = append(out, uint64(int64(addr)+d.stride*r))
+		}
+		return out
+	}
+	// Trailing warp: its base address relative to the leader's defines the
+	// per-rank distance. Confirmations decay the misprediction counter;
+	// contradictions increment it and retrain (unless throttled).
+	rank := int64(warpID) - int64(e.leadWarp)
+	if rank == 0 {
+		return out
+	}
+	observed := (int64(addr) - int64(e.leadBase)) / rank
+	if d == nil {
+		d = p.allocDist(pc)
+		d.stride = observed
+		return out
+	}
+	if d.stride == observed {
+		d.mispred >>= 1
+		return out
+	}
+	d.mispred++
+	if d.mispred < int32(p.cfg.MispredThresh) {
+		d.stride = observed
+	}
+	return out
+}
+
+func (p *Prefetcher) lookupPerCTA(cta, pc int) *perCTAEntry {
+	for i := range p.perCTA {
+		e := &p.perCTA[i]
+		if e.used && e.cta == int32(cta) && e.pc == int64(pc) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) lookupDist(pc int) *distEntry {
+	for i := range p.dist {
+		if p.dist[i].used && p.dist[i].pc == int64(pc) {
+			return &p.dist[i]
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) allocDist(pc int) *distEntry {
+	for i := range p.dist {
+		if !p.dist[i].used {
+			p.dist[i] = distEntry{used: true, pc: int64(pc)}
+			return &p.dist[i]
+		}
+	}
+	// Table full: round-robin eviction off the same cursor as PerCTA.
+	d := &p.dist[p.victim%len(p.dist)]
+	p.victim++
+	*d = distEntry{used: true, pc: int64(pc)}
+	return d
+}
+
+// candidates trains the configured tables on one demand access and returns
+// the prefetch candidate addresses. scratch is an optional reusable buffer.
+func (p *Prefetcher) candidates(cta, warpID, pc int, addr uint64, scratch []uint64) []uint64 {
+	switch p.cfg.Mode {
+	case PrefetchStride:
+		return p.observeRPT(pc, addr, scratch)
+	case PrefetchCTA:
+		// The CTA scheme layers on the RPT: per-warp longitudinal strides
+		// still prefetch, and the PerCTA/Dist tables add the cross-warp
+		// lookahead on behalf of the CTA's trailing warps.
+		scratch = p.observeRPT(pc, addr, scratch)
+		return p.observeCTA(cta, warpID, pc, addr, scratch)
+	}
+	return scratch
+}
+
+// fillReadyAt consults the in-flight fill tracking for a demand access to
+// lineAddr: if a prefetch fill for the line is still in flight at cycle
+// now, the demand can complete no earlier than the fill (a LATE prefetch —
+// partially hidden latency). Completed entries are reaped on lookup.
+func (p *Prefetcher) fillReadyAt(now int64, lineAddr uint64) (int64, bool) {
+	rdy, ok := p.inflight[lineAddr]
+	if !ok {
+		return 0, false
+	}
+	if rdy <= now {
+		delete(p.inflight, lineAddr)
+		return 0, false
+	}
+	return rdy, true
+}
+
+// track records an issued fill's completion cycle; returns false when the
+// in-flight table is full (the candidate must be dropped, not queued).
+func (p *Prefetcher) track(lineAddr uint64, readyAt int64) bool {
+	if len(p.inflight) >= maxInflight {
+		return false
+	}
+	p.inflight[lineAddr] = readyAt
+	return true
+}

@@ -1,0 +1,324 @@
+package memsys
+
+import (
+	"testing"
+
+	"ltrf/internal/isa"
+)
+
+func TestPrefetchConfigValidate(t *testing.T) {
+	for _, ok := range []PrefetchConfig{
+		{}, {Mode: "off"}, {Mode: PrefetchStride}, {Mode: PrefetchCTA, Degree: 4},
+	} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", ok, err)
+		}
+	}
+	if err := (PrefetchConfig{Mode: "bogus"}).Validate(); err == nil {
+		t.Error("unknown mode must fail validation")
+	}
+	if err := (PrefetchConfig{Mode: PrefetchStride, Degree: -1}).Validate(); err == nil {
+		t.Error("negative geometry must fail validation")
+	}
+	for s, want := range map[rptState]string{
+		rptInit: "INIT", rptTransient: "TRANSIENT", rptSteady: "STEADY", rptNoPred: "NO_PRED",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("state %d String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestRPTStateMachine walks the reference-prediction-table entry through the
+// classic Chen & Baer transition diagram with a scripted address sequence,
+// checking the post-observation state and predict decision at every step.
+func TestRPTStateMachine(t *testing.T) {
+	type step struct {
+		addr    uint64
+		state   rptState
+		predict bool
+	}
+	cases := []struct {
+		name  string
+		first uint64 // address that allocates the entry (INIT, stride 0)
+		steps []step
+	}{
+		{
+			name:  "steady-stream-predicts",
+			first: 0x1000,
+			steps: []step{
+				// stride retrains 0 -> 0x80; INIT's "incorrect" arm.
+				{0x1080, rptTransient, false},
+				// 0x1080+0x80 confirmed: TRANSIENT -> STEADY, prediction on.
+				{0x1100, rptSteady, true},
+				{0x1180, rptSteady, true},
+			},
+		},
+		{
+			name:  "init-correct-goes-steady",
+			first: 0x2000,
+			steps: []step{
+				// INIT has stride 0, so re-touching the same address is
+				// "correct" — but a zero stride never licenses a prefetch.
+				{0x2000, rptSteady, false},
+				{0x2000, rptSteady, false},
+			},
+		},
+		{
+			name:  "irregular-stream-reaches-nopred",
+			first: 0x3000,
+			steps: []step{
+				{0x3100, rptTransient, false}, // stride := 0x100
+				{0x3150, rptNoPred, false},    // contradicted: stride := 0x50
+				{0x3275, rptNoPred, false},    // still wrong: retrain, stay
+				// 0x3275+0x125 confirmed: NO_PRED -> TRANSIENT (probation).
+				{0x339A, rptTransient, false},
+				{0x34BF, rptSteady, true}, // confirmed again: back in business
+			},
+		},
+		{
+			name:  "steady-tolerates-one-blip",
+			first: 0x4000,
+			steps: []step{
+				{0x4080, rptTransient, false},
+				{0x4100, rptSteady, true},
+				// One off-pattern access demotes to INIT but KEEPS the stride.
+				{0x9000, rptInit, false},
+				// Stream resumes at the old stride: INIT's "correct" arm goes
+				// straight back to STEADY, no retraining detour.
+				{0x9080, rptSteady, true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := rptEntry{pc: 1, lastAddr: tc.first, state: rptInit}
+			for i, s := range tc.steps {
+				_, predict := e.observe(s.addr)
+				if e.state != s.state {
+					t.Fatalf("step %d (addr %#x): state = %v, want %v", i, s.addr, e.state, s.state)
+				}
+				if predict != s.predict {
+					t.Fatalf("step %d (addr %#x): predict = %v, want %v", i, s.addr, predict, s.predict)
+				}
+			}
+		})
+	}
+}
+
+// TestRPTCandidates checks the degree expansion: a steady entry yields
+// addr+stride*k for k=1..Degree, and a PC conflict reallocates the slot
+// without predicting.
+func TestRPTCandidates(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Mode: PrefetchStride, Degree: 3, TableSize: 8})
+	train := []uint64{0x1000, 0x1080, 0x1100}
+	var out []uint64
+	for _, a := range train {
+		out = p.observeRPT(4, a, out[:0])
+	}
+	want := []uint64{0x1180, 0x1200, 0x1280}
+	if len(out) != len(want) {
+		t.Fatalf("candidates = %#x, want %#x", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("candidates = %#x, want %#x", out, want)
+		}
+	}
+	// pc 12 maps to the same slot (table size 8): the conflict must evict,
+	// allocate in INIT, and predict nothing.
+	if out = p.observeRPT(12, 0x8000, out[:0]); len(out) != 0 {
+		t.Fatalf("conflicting PC predicted %#x from a fresh entry", out)
+	}
+	// The original stream lost its entry, so it must retrain from scratch.
+	if out = p.observeRPT(4, 0x1200, out[:0]); len(out) != 0 {
+		t.Fatalf("evicted PC predicted %#x without retraining", out)
+	}
+}
+
+// TestCTAPrefetcher exercises the CTA-aware tables directly: a leading warp
+// allocates the (CTA, PC) stream, trailing warps of the same CTA train the
+// per-rank distance, and subsequent leading-warp accesses prefetch on the
+// trailing warps' behalf.
+func TestCTAPrefetcher(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Mode: PrefetchCTA, Degree: 2})
+	const pc, cta = 7, 1
+	// Warp 0 leads: allocates the PerCTA entry, no distance known yet. Use
+	// fresh addresses per call so the layered RPT never reaches STEADY and
+	// all candidates are attributable to the CTA tables.
+	if out := p.observeCTA(cta, 0, pc, 0x10000, nil); len(out) != 0 {
+		t.Fatalf("leader with no Dist entry prefetched %#x", out)
+	}
+	// Warp 2 trails at rank 2, offset 2*0x400: observed distance 0x400.
+	if out := p.observeCTA(cta, 2, pc, 0x10800, nil); len(out) != 0 {
+		t.Fatalf("trailing warp prefetched %#x", out)
+	}
+	// The leader's next access prefetches addr+0x400*r for r=1..Degree.
+	out := p.observeCTA(cta, 0, pc, 0x20000, nil)
+	want := []uint64{0x20400, 0x20800}
+	if len(out) != len(want) || out[0] != want[0] || out[1] != want[1] {
+		t.Fatalf("leader candidates = %#x, want %#x", out, want)
+	}
+	// A different CTA at the same PC is a separate stream: its first access
+	// allocates its own PerCTA entry and prefetches nothing.
+	if out := p.observeCTA(cta+1, 8, pc, 0x30000, nil); len(out) != 0 {
+		t.Fatalf("other CTA's leader prefetched %#x on allocation", out)
+	}
+}
+
+// TestCTAMispredictionThrottle drives contradictory trailing-warp distances
+// past the threshold and checks the PC stops prefetching (and counts drops).
+func TestCTAMispredictionThrottle(t *testing.T) {
+	const thresh = 4
+	p := NewPrefetcher(PrefetchConfig{Mode: PrefetchCTA, Degree: 1, MispredThresh: thresh})
+	const pc, cta = 3, 0
+	p.observeCTA(cta, 0, pc, 0x1000, nil) // leader allocates
+	p.observeCTA(cta, 1, pc, 0x1100, nil) // rank 1: dist := 0x100
+	// Contradict the distance once per step; each increments mispred.
+	for i := 0; i < thresh; i++ {
+		p.observeCTA(cta, 1, pc, uint64(0x2000+i*0x777), nil)
+	}
+	d := p.lookupDist(pc)
+	if d == nil || d.mispred < thresh {
+		t.Fatalf("mispred = %+v, want >= %d", d, thresh)
+	}
+	before := p.Dropped
+	if out := p.observeCTA(cta, 0, pc, 0x9000, nil); len(out) != 0 {
+		t.Fatalf("throttled PC prefetched %#x", out)
+	}
+	if p.Dropped != before+1 {
+		t.Fatalf("throttled issue not counted: Dropped = %d, want %d", p.Dropped, before+1)
+	}
+	// Confirmations decay the counter (halving), eventually unthrottling. A
+	// rank-1 confirmation is an access at exactly leadBase+stride.
+	lead := p.lookupPerCTA(cta, pc).leadBase
+	for i := 0; i < 8; i++ {
+		p.observeCTA(cta, 1, pc, uint64(int64(lead)+d.stride), nil)
+	}
+	if d.mispred != 0 {
+		t.Fatalf("confirmations must decay mispred to 0, got %d", d.mispred)
+	}
+}
+
+// TestPrefetchIntegration drives a streaming load through a full hierarchy
+// with the stride prefetcher on and checks (a) the prefetcher actually
+// issues and its fills get used, and (b) the DRAM conservation law extends
+// exactly by the prefetch term: every DRAM burst is either a demand L2 miss
+// or an issued prefetch.
+func TestPrefetchIntegration(t *testing.T) {
+	cfg := DefaultHierarchy()
+	cfg.Prefetch = PrefetchConfig{Mode: PrefetchStride}
+	h := NewHierarchy(cfg)
+	defer h.Release()
+
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{
+		Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20}}
+	now := int64(0)
+	for iter := int64(0); iter < 200; iter++ {
+		// Space iterations far apart so every prefetch fill lands before the
+		// demand that could use it (timeliness is tested separately).
+		done, _ := h.Access(now, ld, 0, 0, 5, iter)
+		if done < now {
+			t.Fatalf("completion %d before issue %d", done, now)
+		}
+		now += 5000
+	}
+
+	ev := h.Events()
+	if ev.PrefIssued == 0 {
+		t.Fatal("streaming load trained no prefetches")
+	}
+	if ev.PrefUseful == 0 {
+		t.Fatal("prefetched lines never hit by demand")
+	}
+	if got := ev.DRAMAccesses; got != ev.L2Misses+ev.PrefIssued {
+		t.Errorf("DRAM conservation: accesses = %d, want L2 misses %d + prefetches %d",
+			got, ev.L2Misses, ev.PrefIssued)
+	}
+	// The stream strides one line per iteration and the prefetcher runs
+	// Degree lines ahead, so after warm-up nearly every demand is covered:
+	// useful fills should dominate issues.
+	if ev.PrefUseful*2 < ev.PrefIssued {
+		t.Errorf("coverage collapsed: %d useful of %d issued", ev.PrefUseful, ev.PrefIssued)
+	}
+}
+
+// TestPrefetchLateFill checks the timeliness model: a demand access arriving
+// while its line's prefetch fill is still in flight counts as LATE and
+// completes no earlier than the fill.
+func TestPrefetchLateFill(t *testing.T) {
+	cfg := DefaultHierarchy()
+	cfg.Prefetch = PrefetchConfig{Mode: PrefetchStride, Degree: 1}
+	h := NewHierarchy(cfg)
+	defer h.Release()
+
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{
+		Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 2, FootprintB: 1 << 20}}
+	// Back-to-back issues: once the table turns STEADY, the fill for the
+	// next line is in flight when the next iteration demands it.
+	now := int64(0)
+	for iter := int64(0); iter < 32; iter++ {
+		h.Access(now, ld, 0, 0, 9, iter)
+		now++ // far inside any DRAM burst latency
+	}
+	if ev := h.Events(); ev.PrefLate == 0 {
+		t.Errorf("back-to-back stream saw no late fills: %+v", ev)
+	}
+}
+
+// TestPrefetchOffIsFree checks the default path: with prefetching off the
+// hierarchy carries no prefetcher, all Pref* counters stay zero, and the
+// strict DRAMAccesses == L2Misses law holds.
+func TestPrefetchOffIsFree(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	defer h.Release()
+	ld := &isa.Instr{Op: isa.OpLdGlobal, Mem: &isa.MemAccess{
+		Space: isa.SpaceGlobal, Pattern: isa.PatCoalesced, Region: 1, FootprintB: 1 << 20}}
+	for iter := int64(0); iter < 50; iter++ {
+		h.Access(int64(iter)*1000, ld, 0, 0, 5, iter)
+	}
+	ev := h.Events()
+	if ev.PrefIssued != 0 || ev.PrefUseful != 0 || ev.PrefLate != 0 || ev.PrefUnused != 0 || ev.PrefDropped != 0 {
+		t.Errorf("prefetch counters moved with prefetching off: %+v", ev)
+	}
+	if ev.DRAMAccesses != ev.L2Misses {
+		t.Errorf("conservation: DRAM %d != L2 misses %d", ev.DRAMAccesses, ev.L2Misses)
+	}
+}
+
+// TestCacheFillMarks checks the cache-side prefetch bookkeeping: Fill
+// installs without demand stats, a demand hit consumes the mark as useful,
+// and evicting a never-touched prefetched line counts as pollution.
+func TestCacheFillMarks(t *testing.T) {
+	c := MustNewCache(CacheConfig{Name: "t", SizeB: 1024, LineB: 128, Ways: 2})
+	if !c.Fill(0x1000) {
+		t.Fatal("fill of absent line must install")
+	}
+	if c.Fill(0x1000) {
+		t.Fatal("fill of present line must be a no-op")
+	}
+	if c.Stats.Accesses != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("fills must not move demand stats: %+v", c.Stats)
+	}
+	if !c.Access(0x1000, false) {
+		t.Fatal("prefetched line must hit")
+	}
+	if c.Stats.PrefUseful != 1 {
+		t.Fatalf("PrefUseful = %d, want 1", c.Stats.PrefUseful)
+	}
+	// A second hit must not double-count: the mark is consumed.
+	c.Access(0x1000, false)
+	if c.Stats.PrefUseful != 1 {
+		t.Fatalf("PrefUseful double-counted: %d", c.Stats.PrefUseful)
+	}
+
+	// Pollution: fill a line, then evict it with demand misses to the same
+	// set (2 ways, 4 sets of 128B: set stride is 512B).
+	c.Fill(0x2000)
+	c.Access(0x2000+512, false)
+	c.Access(0x2000+1024, false)
+	c.Access(0x2000+1536, false)
+	if c.Stats.PrefUnused != 1 {
+		t.Fatalf("PrefUnused = %d, want 1 (stats %+v)", c.Stats.PrefUnused, c.Stats)
+	}
+}

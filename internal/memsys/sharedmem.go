@@ -123,10 +123,13 @@ func (s *SharedMem) Reserve(b int) bool {
 // available. Spill partitions use it: a spilled register lives in one bank
 // and its access queues behind whatever workload traffic occupies it.
 func (s *SharedMem) Access(now int64, bank int) int64 {
-	if bank < 0 {
-		bank = -bank
-	}
+	// Fold any int into a valid index with Euclidean modulo. The old
+	// negate-then-mod (bank = -bank for negatives) breaks at math.MinInt,
+	// whose negation overflows back to itself and indexes out of range.
 	bank %= len(s.free)
+	if bank < 0 {
+		bank += len(s.free)
+	}
 	s.Accesses++
 	start := now
 	if f := s.free[bank]; f > start {

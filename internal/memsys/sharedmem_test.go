@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"math"
 	"testing"
 
 	"ltrf/internal/isa"
@@ -86,6 +87,51 @@ func TestSharedMemBankContention(t *testing.T) {
 	}
 }
 
+// TestSharedMemBankFoldingContract documents the bank-index folding rule:
+// any int — including math.MinInt, whose negation overflows back to itself —
+// folds by Euclidean modulo, so bank and bank±k·Banks always name the same
+// physical bank. The contract is observable through contention: two accesses
+// to congruent indexes in the same cycle must serialize, and incongruent
+// ones must not.
+func TestSharedMemBankFoldingContract(t *testing.T) {
+	const banks = 4
+	newMem := func() *SharedMem {
+		return NewSharedMem(SharedMemConfig{SizeB: 1 << 10, Banks: banks, AccessCycles: 10})
+	}
+
+	// math.MinInt must fold without panicking (the negate-then-mod bug) and
+	// collide with its Euclidean residue: MinInt ≡ 0 (mod 4).
+	s := newMem()
+	s.Access(0, math.MinInt)
+	if got := s.Access(0, 0); got != 11 {
+		t.Errorf("bank 0 after math.MinInt access done at %d, want 11 (same physical bank)", got)
+	}
+
+	congruent := func(a, b int) bool {
+		s := newMem()
+		s.Access(0, a)
+		// A same-cycle access to the same physical bank queues one cycle.
+		return s.Access(0, b) == 11
+	}
+	cases := []struct {
+		a, b int
+		same bool
+	}{
+		{1, 1 + banks, true},
+		{1, 1 - banks, true},  // -3 folds to 1, not 3
+		{-1, banks - 1, true}, // -1 folds to 3
+		{math.MinInt, banks, true},
+		{math.MinInt + 1, 1, true}, // MinInt+1 ≡ 1 (mod 4)
+		{1, 2, false},
+		{-1, -2, false},
+	}
+	for _, c := range cases {
+		if got := congruent(c.a, c.b); got != c.same {
+			t.Errorf("banks %d and %d congruent = %v, want %v", c.a, c.b, got, c.same)
+		}
+	}
+}
+
 func TestWorkloadSharedBytes(t *testing.T) {
 	if got := WorkloadSharedBytes(nil); got != 0 {
 		t.Errorf("nil program shared bytes = %d, want 0", got)
@@ -115,8 +161,8 @@ func TestWorkloadSharedBytes(t *testing.T) {
 func TestHierarchySharedContention(t *testing.T) {
 	h := NewHierarchy(DefaultHierarchy())
 	in := &isa.Instr{Op: isa.OpLdShared, Mem: &isa.MemAccess{Space: isa.SpaceShared, Pattern: isa.PatCoalesced, FootprintB: 1 << 14}}
-	first, _ := h.Access(100, in, 0, 0)
-	second, _ := h.Access(100, in, 1, 0)
+	first, _ := h.Access(100, in, 0, 0, 0, 0)
+	second, _ := h.Access(100, in, 1, 0, 0, 0)
 	want := int64(100 + h.Config().SharedCycles)
 	if first != want {
 		t.Errorf("first shared access done at %d, want %d", first, want)

@@ -28,13 +28,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ltrf/internal/exp"
+	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
 	"ltrf/internal/regfile"
 	"ltrf/internal/sim"
@@ -68,6 +71,14 @@ type Server struct {
 
 	shed429 atomic.Int64
 	shed503 atomic.Int64
+
+	// svcMean is an exponentially-weighted mean of observed slot-hold times
+	// (admission to release), the basis of the shed responses' Retry-After:
+	// a queue of N requests drains in about N/MaxInFlight service times, so
+	// the header tells clients when a slot is plausibly free instead of a
+	// hardcoded guess.
+	svcMu   sync.Mutex
+	svcMean time.Duration
 }
 
 // New validates the config and returns a server.
@@ -151,27 +162,70 @@ func writeErr(w http.ResponseWriter, status int, kind, msg string) {
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func()) {
 	if s.draining.Load() {
 		s.shed503.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeErr(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against another replica")
 		return nil
 	}
 	if q := s.waiting.Add(1); q > int64(s.cfg.MaxQueue) {
 		s.waiting.Add(-1)
 		s.shed429.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeErr(w, http.StatusTooManyRequests, "overloaded", "evaluation queue is full; retry with backoff")
 		return nil
 	}
 	select {
 	case s.sem <- struct{}{}:
 		s.waiting.Add(-1)
-		return func() { <-s.sem }
+		start := time.Now()
+		return func() {
+			<-s.sem
+			s.observeService(time.Since(start))
+		}
 	case <-r.Context().Done():
 		s.waiting.Add(-1)
 		// Client gone while queued; nothing useful to write.
 		writeErr(w, statusClientClosedRequest, "cancelled", "client disconnected while queued")
 		return nil
 	}
+}
+
+// observeService folds one request's slot-hold time into the mean with an
+// exponential weight of 1/8 — heavy enough to track a shift in the point
+// mix (store hits vs fresh 40k-instruction simulations differ by orders of
+// magnitude) within a dozen requests, light enough that one straggler does
+// not triple the advertised backoff.
+func (s *Server) observeService(d time.Duration) {
+	s.svcMu.Lock()
+	if s.svcMean == 0 {
+		s.svcMean = d
+	} else {
+		s.svcMean += (d - s.svcMean) / 8
+	}
+	s.svcMu.Unlock()
+}
+
+// retryAfter renders the shed responses' Retry-After: the observed mean
+// service time scaled by the queue's depth in units of the worker pool —
+// roughly when the backlog at this instant will have drained — clamped to
+// [1s, 60s] (whole seconds; the header's coarsest portable form). With no
+// observations yet it falls back to 1s, the old hardcoded value.
+func (s *Server) retryAfter() string {
+	s.svcMu.Lock()
+	mean := s.svcMean
+	s.svcMu.Unlock()
+	if mean <= 0 {
+		return "1"
+	}
+	depth := float64(s.waiting.Load()) + float64(len(s.sem))
+	est := time.Duration((1 + depth/float64(cap(s.sem))) * float64(mean))
+	secs := int64(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // statusClientClosedRequest mirrors nginx's 499: the client closed the
@@ -188,6 +242,10 @@ type EvalRequest struct {
 	Budget          int64   `json:"budget"`
 	RegsPerInterval int     `json:"regs_per_interval"`
 	ActiveWarps     int     `json:"active_warps"`
+	// Prefetch selects the hardware prefetcher ("", "off", "stride", "cta");
+	// CTAs the resident thread blocks per SM (0 = the single-CTA default).
+	Prefetch string `json:"prefetch"`
+	CTAs     int    `json:"ctas"`
 	// AllowTruncated opts into receiving a truncated (cycle-cap-hit) result
 	// as 200 instead of the default 422 error state.
 	AllowTruncated bool `json:"allow_truncated"`
@@ -244,6 +302,12 @@ func parsePoint(req *EvalRequest) (exp.Point, error) {
 	if req.RegsPerInterval < 0 || req.ActiveWarps < 0 {
 		return exp.Point{}, fmt.Errorf("knob overrides must be non-negative")
 	}
+	if err := (memsys.PrefetchConfig{Mode: memsys.PrefetchMode(req.Prefetch)}).Validate(); err != nil {
+		return exp.Point{}, err
+	}
+	if req.CTAs < 0 {
+		return exp.Point{}, fmt.Errorf("ctas %d must be non-negative", req.CTAs)
+	}
 	return exp.Point{
 		Design:          sim.Design(desc.Name),
 		Tech:            req.Tech,
@@ -253,6 +317,8 @@ func parsePoint(req *EvalRequest) (exp.Point, error) {
 		Budget:          req.Budget,
 		RegsPerInterval: req.RegsPerInterval,
 		ActiveWarps:     req.ActiveWarps,
+		Prefetch:        req.Prefetch,
+		CTAs:            req.CTAs,
 	}, nil
 }
 
@@ -437,6 +503,9 @@ type MetaResponse struct {
 	Shed429  int64 `json:"shed_429"`
 	Shed503  int64 `json:"shed_503"`
 	Draining bool  `json:"draining"`
+	// MeanServiceMS is the exponentially-weighted mean request service time
+	// the shed responses' Retry-After is derived from (0 until observed).
+	MeanServiceMS float64 `json:"mean_service_ms"`
 }
 
 // StoreMeta is the persistent store's counter view (absent without one).
@@ -473,6 +542,9 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		Shed503:     s.shed503.Load(),
 		Draining:    s.draining.Load(),
 	}
+	s.svcMu.Lock()
+	meta.MeanServiceMS = float64(s.svcMean) / float64(time.Millisecond)
+	s.svcMu.Unlock()
 	if st := eng.Store(); st != nil {
 		meta.Store = &StoreMeta{
 			Dir:         st.Dir(),

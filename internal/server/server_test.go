@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -221,6 +222,75 @@ func TestShedding(t *testing.T) {
 		t.Error("shed counter not incremented")
 	}
 	wg.Wait()
+}
+
+// TestRetryAfterDerivedFromServiceTime pins the backoff arithmetic: the
+// shed responses' Retry-After is the observed mean service time scaled by
+// the current backlog in worker-pool units, clamped to [1s, 60s], with the
+// old hardcoded 1s only as the no-observations fallback.
+func TestRetryAfterDerivedFromServiceTime(t *testing.T) {
+	s, err := New(Config{Engine: exp.NewEngine(), MaxInFlight: 2, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfter(); got != "1" {
+		t.Errorf("no observations: Retry-After = %s, want the 1s fallback", got)
+	}
+
+	s.observeService(3 * time.Second)
+	// Idle server: one mean service time, whole seconds.
+	if got := s.retryAfter(); got != "3" {
+		t.Errorf("idle Retry-After = %s, want 3", got)
+	}
+
+	// Two in flight + two queued over a pool of two: (1 + 4/2) x 3s = 9s.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	s.waiting.Store(2)
+	if got := s.retryAfter(); got != "9" {
+		t.Errorf("backlogged Retry-After = %s, want 9", got)
+	}
+	s.waiting.Store(0)
+	<-s.sem
+	<-s.sem
+
+	// The mean is exponentially weighted: a run of fast requests pulls a
+	// slow start back down toward reality.
+	for i := 0; i < 40; i++ {
+		s.observeService(10 * time.Millisecond)
+	}
+	if got := s.retryAfter(); got != "1" {
+		t.Errorf("after fast requests Retry-After = %s, want clamped floor 1", got)
+	}
+
+	// And the ceiling clamps pathological means.
+	s.observeService(10 * time.Hour)
+	s.observeService(10 * time.Hour)
+	s.observeService(10 * time.Hour)
+	if got := s.retryAfter(); got != "60" {
+		t.Errorf("pathological Retry-After = %s, want ceiling 60", got)
+	}
+}
+
+// TestRetryAfterHeaderOnShed asserts the shed paths actually carry the
+// derived header (integer seconds >= 1).
+func TestRetryAfterHeaderOnShed(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	body, _ := json.Marshal(quickEval())
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining eval = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Errorf("Retry-After = %q, want integer seconds in [1, 60]", ra)
+	}
 }
 
 // TestDrain asserts the shutdown contract: after BeginDrain new work sheds

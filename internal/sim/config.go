@@ -119,8 +119,15 @@ type Config struct {
 	// CacheKB is the register file cache size (Table 3: 16KB).
 	CacheKB int
 
-	MaxWarps        int // resident warp contexts per SM (Table 3: 64)
-	ActiveWarps     int // two-level scheduler active set (Table 3: 8)
+	MaxWarps    int // resident warp contexts per SM (Table 3: 64)
+	ActiveWarps int // two-level scheduler active set (Table 3: 8)
+	// CTAsPerSM is the number of thread blocks resident per SM (0 or 1 =
+	// one CTA, the historical behavior). With several CTAs the resident
+	// warps are split contiguously into CTA groups: barriers synchronize
+	// within a CTA only, each CTA instantiates the kernel's shared-memory
+	// footprint, and SharedFreeBytes (and through it the CapacityX
+	// occupancy hooks) sees the per-CTA budget SizeB/CTAsPerSM.
+	CTAsPerSM       int
 	RegsPerInterval int // register budget N per prefetch unit (Table 3: 16)
 	IssueWidth      int // instructions issued per SM cycle
 	Collectors      int // operand collector units; an instruction holds one
@@ -220,16 +227,29 @@ func (c *Config) BaseCapacityKB() int {
 	return kb
 }
 
-// SharedFreeBytes returns the SM shared-memory capacity left for
-// register-file scratchpads after the kernel's own footprint — the budget
-// capacity-scaling hooks (regdem) size their spill partitions against.
+// CTAs resolves CTAsPerSM: 0 means the historical single CTA.
+func (c *Config) CTAs() int {
+	if c.CTAsPerSM <= 1 {
+		return 1
+	}
+	return c.CTAsPerSM
+}
+
+// SharedFreeBytes returns the shared-memory capacity left for register-file
+// scratchpads after the kernel's own footprint — the budget
+// capacity-scaling hooks (regdem) size their spill partitions against. With
+// several CTAs per SM the scratchpad is split into per-CTA budgets
+// (SizeB/CTAs) and each CTA pays the kernel footprint out of its own, so
+// the hooks see the per-CTA headroom — at CTAsPerSM<=1 this is exactly the
+// historical whole-scratchpad computation.
 func (c *Config) SharedFreeBytes(kernel *isa.Program) int {
 	sh := c.Mem.Shared.Normalized(c.Mem.SharedCycles)
+	budget := sh.SizeB / c.CTAs()
 	used := memsys.WorkloadSharedBytes(kernel)
-	if used > sh.SizeB {
-		used = sh.SizeB
+	if used > budget {
+		used = budget
 	}
-	return sh.SizeB - used
+	return budget - used
 }
 
 // ResolveOccupancy makes the maxregcount-style occupancy decision for a
@@ -288,6 +308,15 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxWarps < 1 || c.ActiveWarps < 1 {
 		return fmt.Errorf("sim: warp counts must be positive (%d/%d)", c.MaxWarps, c.ActiveWarps)
+	}
+	if c.CTAsPerSM < 0 {
+		return fmt.Errorf("sim: CTAsPerSM %d must be non-negative", c.CTAsPerSM)
+	}
+	if c.CTAsPerSM > c.MaxWarps {
+		return fmt.Errorf("sim: CTAsPerSM %d exceeds MaxWarps %d (a CTA needs at least one warp)", c.CTAsPerSM, c.MaxWarps)
+	}
+	if err := c.Mem.Prefetch.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if c.RegsPerInterval < 4 {
 		return fmt.Errorf("sim: RegsPerInterval %d below minimum 4", c.RegsPerInterval)

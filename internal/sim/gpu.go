@@ -105,7 +105,7 @@ func RunGPUCtx(ctx context.Context, c Config, nSMs int, virtual *isa.Program) (*
 		// subsystem reserves spill space from ITS scratchpad, so per-SM
 		// contention stays local while L2/DRAM contention is shared.
 		mem := memsys.NewShared(c.Mem, l2, dram)
-		mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual))
+		mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual) * c.CTAs())
 		rf, err := buildSubsystem(&c, prog, part, mem.Shared, warps)
 		if err != nil {
 			return nil, err

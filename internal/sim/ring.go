@@ -511,9 +511,9 @@ func (sm *SM) visitActive(pos int, now int64) (issued, removed int) {
 		sm.st.CtrlOps++
 		w.state = stateBarrier
 		w.sbOK = false
-		sm.barrierCount++
+		sm.ctaBarrier[w.cta]++
 		sm.ring.clear(pos)
-		sm.maybeReleaseBarrier()
+		sm.maybeReleaseBarrier(int(w.cta))
 		return 1, 1
 	}
 
@@ -521,9 +521,10 @@ func (sm *SM) visitActive(pos int, now int64) (issued, removed int) {
 	w.sbOK = false
 	if w.state == stateFinished {
 		sm.finished++
+		sm.ctaFin[w.cta]++
 		w.Regs.Reset(sm.cfg.RegsPerInterval)
 		sm.ring.clear(pos)
-		sm.maybeReleaseBarrier()
+		sm.maybeReleaseBarrier(int(w.cta))
 		return 1, 1
 	}
 

@@ -171,7 +171,9 @@ func RunWithCacheCtx(ctx context.Context, c Config, virtual *isa.Program, cc *Co
 	// footprint is recorded — so the reservation can fail and the design
 	// falls back, exactly as the occupancy hook predicted.
 	mem := memsys.NewHierarchy(c.Mem)
-	mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual))
+	// Each resident CTA instantiates the kernel's shared-memory footprint
+	// (the per-CTA budget split is resolved in Config.SharedFreeBytes).
+	mem.Shared.SetWorkloadBytes(memsys.WorkloadSharedBytes(virtual) * c.CTAs())
 
 	rf, err := buildSubsystem(&c, info.Prog, info.Part, mem.Shared, info.Warps)
 	if err != nil {

@@ -163,7 +163,13 @@ type SM struct {
 	ctx    context.Context
 	passes int64
 
-	barrierCount int
+	// Per-CTA barrier bookkeeping: resident warps are split contiguously
+	// into CTA groups of wpc warps (the last group may be smaller), and a
+	// barrier synchronizes only within its CTA. With one CTA (the default)
+	// this degenerates to the historical SM-wide barrier.
+	wpc        int     // warps per CTA
+	ctaBarrier []int32 // warps in stateBarrier, per CTA
+	ctaFin     []int32 // warps in stateFinished, per CTA
 
 	st Stats
 }
@@ -227,6 +233,17 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 	if nregs == 0 {
 		nregs = 1
 	}
+	// Contiguous CTA split: warp local index i belongs to CTA i/wpc. The
+	// configured CTA count is clamped to the resident warp count (occupancy
+	// may resolve fewer warps than CTAs were asked for).
+	ctas := cfg.CTAs()
+	if ctas > nWarps {
+		ctas = nWarps
+	}
+	sm.wpc = (nWarps + ctas - 1) / ctas
+	nCTAs := (nWarps + sm.wpc - 1) / sm.wpc
+	sm.ctaBarrier = make([]int32, nCTAs)
+	sm.ctaFin = make([]int32, nCTAs)
 	sm.wake.init(nWarps)
 	sm.ring.init(nWarps)
 	// Contiguous warp contexts and pooled scoreboard arrays: the issue scan
@@ -247,6 +264,7 @@ func newSM(cfg *Config, prog *isa.Program, part *core.Partition, rf regfile.Subs
 			countBuf[i*slots:(i+1)*slots],
 			cfg.RegsPerInterval, cfg.Seed+uint64(warpIDBase+i))
 		w.local = i
+		w.cta = int32(i / sm.wpc)
 		sm.warps[i] = w
 		sm.wake.push(i, 0)
 	}
@@ -565,9 +583,9 @@ func (sm *SM) issueCycleScan() int {
 			sm.instrs++
 			sm.st.CtrlOps++
 			w.state = stateBarrier
-			sm.barrierCount++
+			sm.ctaBarrier[w.cta]++
 			removed++
-			sm.maybeReleaseBarrier()
+			sm.maybeReleaseBarrier(int(w.cta))
 			issued++
 			continue
 		}
@@ -576,9 +594,10 @@ func (sm *SM) issueCycleScan() int {
 		issued++
 		if w.state == stateFinished {
 			sm.finished++
+			sm.ctaFin[w.cta]++
 			w.Regs.Reset(sm.cfg.RegsPerInterval)
 			removed++
-			sm.maybeReleaseBarrier()
+			sm.maybeReleaseBarrier(int(w.cta))
 		}
 	}
 
@@ -681,25 +700,31 @@ func (sm *SM) removeActive() {
 	sm.active = out
 }
 
-// maybeReleaseBarrier releases all barrier-waiting warps once every
-// non-finished warp has arrived. barrierCount tracks the warps in
-// stateBarrier and finished those in stateFinished, so the arrival check is
-// O(1); only the actual release walks the warp list.
-func (sm *SM) maybeReleaseBarrier() {
-	if sm.barrierCount == 0 {
+// maybeReleaseBarrier releases the CTA's barrier-waiting warps once every
+// non-finished warp of that CTA has arrived. ctaBarrier tracks the CTA's
+// warps in stateBarrier and ctaFin those in stateFinished, so the arrival
+// check is O(1); only the actual release walks the CTA's (contiguous) warp
+// range. With one CTA this is exactly the historical SM-wide barrier.
+func (sm *SM) maybeReleaseBarrier(cta int) {
+	if sm.ctaBarrier[cta] == 0 {
 		return
 	}
-	if sm.barrierCount+sm.finished != len(sm.warps) {
+	lo := cta * sm.wpc
+	hi := lo + sm.wpc
+	if hi > len(sm.warps) {
+		hi = len(sm.warps)
+	}
+	if int(sm.ctaBarrier[cta]+sm.ctaFin[cta]) != hi-lo {
 		return
 	}
-	for _, w := range sm.warps {
+	for _, w := range sm.warps[lo:hi] {
 		if w.state == stateBarrier {
 			w.state = stateInactive
 			w.blockedUntil = sm.cycle + 1
 			sm.wake.push(w.local, w.blockedUntil)
 		}
 	}
-	sm.barrierCount = 0
+	sm.ctaBarrier[cta] = 0
 	sm.st.BarrierReleases++
 }
 
@@ -732,7 +757,7 @@ func (sm *SM) issueInstr(w *Warp, in *isa.Instr, m *instrMeta, col int) {
 		sm.st.MemOps++
 		iter := w.counts[m.slot]
 		w.counts[m.slot]++
-		done, _ := sm.mem.Access(opReady, in, w.ID, int64(iter))
+		done, _ := sm.mem.Access(opReady, in, w.ID, int(w.cta), w.pc, int64(iter))
 		if m.isStore {
 			execDone = opReady + 1 // stores retire via the store queue
 		} else {

@@ -21,6 +21,7 @@ const (
 type Warp struct {
 	ID    int
 	local int
+	cta   int32 // CTA (thread block) the warp belongs to within its SM
 	Regs  *regfile.WarpRegs
 
 	pc           int

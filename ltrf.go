@@ -40,6 +40,7 @@ import (
 	"ltrf/internal/core"
 	"ltrf/internal/exp"
 	"ltrf/internal/isa"
+	"ltrf/internal/memsys"
 	"ltrf/internal/memtech"
 	"ltrf/internal/power"
 	"ltrf/internal/regalloc"
@@ -262,6 +263,16 @@ type SimOptions struct {
 	// Scheduler selects the warp-scheduler variant (default TwoLevel). Use
 	// the exported constants or sim's Scheduler names.
 	Scheduler Scheduler
+	// Prefetch selects the hardware prefetcher: "" or "off" (default),
+	// "stride" (PC-indexed reference-prediction-table stride prefetcher), or
+	// "cta" (the CTA-aware distance tables layered on the stride RPT).
+	// Prefetch fills are real DRAM bursts and cost chip energy whether or
+	// not the lines are used.
+	Prefetch string
+	// CTAsPerSM splits the SM's resident warps into this many CTAs (thread
+	// blocks): per-CTA barriers, per-CTA shared-memory budgets, and the
+	// CTA-aware prefetcher's stream key. 0 or 1 = one CTA (the default).
+	CTAsPerSM int
 	// MaxInstrs bounds the simulation (default 200k dynamic instructions).
 	MaxInstrs int64
 	// Chip re-calibrates the chip-level energy account ChipEnergy scores
@@ -308,6 +319,8 @@ func (o SimOptions) config() (sim.Config, error) {
 		c.MaxWarps = o.MaxWarps
 	}
 	c.Scheduler = o.Scheduler
+	c.Mem.Prefetch.Mode = memsys.PrefetchMode(o.Prefetch)
+	c.CTAsPerSM = o.CTAsPerSM
 	if o.MaxInstrs != 0 {
 		c.MaxInstrs = o.MaxInstrs
 		c.MaxCycles = o.MaxInstrs * 12

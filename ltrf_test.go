@@ -140,8 +140,8 @@ func TestTechAccessor(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	specs := ltrf.Experiments()
-	if len(specs) != 16 {
-		t.Errorf("Experiments() = %d entries, want 16 (13 paper artifacts + designspace + designsweep + pipesweep)", len(specs))
+	if len(specs) != 17 {
+		t.Errorf("Experiments() = %d entries, want 17 (13 paper artifacts + designspace + designsweep + pipesweep + prefsweep)", len(specs))
 	}
 	// Table 2 is cheap: run it through the public API.
 	tab, err := ltrf.RunExperiment("table2", ltrf.ExperimentOptions{Quick: true})
