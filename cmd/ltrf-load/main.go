@@ -4,55 +4,294 @@
 // the server soak test runs the same generator against an in-process
 // handler.
 //
-// Usage:
+// Modes:
 //
-//	ltrf-load -addr http://localhost:8080 -n 256 -workers 16 -cancel 0.1
+//	eval  (default) — the PR 5 mixed eval stream against a live server:
+//	        ltrf-load -addr http://localhost:8080 -n 256 -workers 16 -cancel 0.1
+//	sweep — spin up -replicas in-process servers sharing one store dir and
+//	        fire the SAME grid sweep at all of them, reporting per-replica
+//	        time-to-first/last-result and the fleet duplicate-compute ratio:
+//	        ltrf-load -mode sweep -replicas 2 -points 8 -store /tmp/ltrf-store
+//	bench — run the PR 10 benchmark matrix (cold/warm × 1/2 replicas on a
+//	        shared store) and write a BENCH_PR10.json-shaped report:
+//	        ltrf-load -mode bench -points 100 -out BENCH_PR10.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"ltrf/internal/exp"
 	"ltrf/internal/load"
+	"ltrf/internal/server"
+	"ltrf/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:8080", "server base URL")
-		n       = flag.Int("n", 64, "total requests")
-		workers = flag.Int("workers", 8, "concurrent workers")
+		mode    = flag.String("mode", "eval", "eval | sweep | bench")
+		addr    = flag.String("addr", "http://localhost:8080", "server base URL (eval mode)")
+		n       = flag.Int("n", 64, "total requests (eval mode)")
+		workers = flag.Int("workers", 8, "concurrent workers (eval mode)")
 		cancel  = flag.Float64("cancel", 0, "fraction of requests cancelled client-side mid-flight (0..1)")
 		unique  = flag.Float64("unique", 0.25, "fraction of requests using a never-seen point (forced miss)")
 		quick   = flag.Bool("quick", true, "quick per-point budget (12k instrs instead of 40k)")
 		seed    = flag.Int64("seed", 1, "request stream seed")
+
+		replicas = flag.Int("replicas", 2, "in-process replicas sharing the store (sweep mode)")
+		points   = flag.Int("points", 8, "approximate grid size (sweep/bench modes)")
+		storeDir = flag.String("store", "", "shared store directory (sweep mode; default: temp dir)")
+		budget   = flag.Int64("budget", 2000, "per-point instruction budget (sweep/bench modes)")
+		nonce    = flag.Int64("nonce", 0, "budget offset forcing a cold grid (sweep mode; 0 = warm ok)")
+		requireD = flag.Bool("require-dup0", false, "exit non-zero unless duplicate-compute ratio is 0 (sweep mode)")
+		out      = flag.String("out", "BENCH_PR10.json", "report path (bench mode)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	st, err := load.Run(ctx, load.Config{
-		BaseURL:    *addr,
-		Requests:   *n,
-		Workers:    *workers,
-		CancelFrac: *cancel,
-		UniqueFrac: *unique,
-		Quick:      *quick,
-		Seed:       *seed,
-	})
+	var err error
+	switch *mode {
+	case "eval":
+		err = runEval(ctx, *addr, *n, *workers, *cancel, *unique, *quick, *seed)
+	case "sweep":
+		err = runSweep(ctx, *replicas, *points, *budget+*nonce, *storeDir, *requireD)
+	case "bench":
+		err = runBench(ctx, *points, *budget, *out)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltrf-load:", err)
 		os.Exit(1)
+	}
+}
+
+func runEval(ctx context.Context, addr string, n, workers int, cancel, unique float64, quick bool, seed int64) error {
+	st, err := load.Run(ctx, load.Config{
+		BaseURL:    addr,
+		Requests:   n,
+		Workers:    workers,
+		CancelFrac: cancel,
+		UniqueFrac: unique,
+		Quick:      quick,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Println(st)
 	for code, cnt := range st.ByStatus {
 		fmt.Printf("  %d: %d\n", code, cnt)
 	}
 	if st.Failed > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d requests failed", st.Failed)
 	}
+	return nil
+}
+
+// replicaFleet spins up n in-process servers, each with its own engine but
+// all sharing one store directory — the deployment the lease protocol is
+// for, minus the network.
+func replicaFleet(n int, dir string) (urls []string, shutdown func(), err error) {
+	var servers []*httptest.Server
+	shutdown = func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		st, err := store.Open(dir, store.Options{Version: exp.StoreVersion()})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		srv, err := server.New(server.Config{Engine: exp.NewEngineWithStore(st)})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	return urls, shutdown, nil
+}
+
+// sweepBody builds a grid request of roughly the asked-for size from fixed
+// axes: designs × latencies × workloads. points is met exactly for the
+// sizes the harness uses (8 = 2×2×2, 100 = 4×5×5).
+func sweepBody(points int, budget int64) map[string]any {
+	designs := []string{"BL", "RFC", "LTRF", "LTRF+"}
+	lats := []float64{1, 2, 4, 8, 16}
+	wls := []string{"vectoradd", "btree", "sgemm", "bfs", "kmeans"}
+	d, l, w := len(designs), len(lats), len(wls)
+	for d*l*w > points && w > 1 {
+		w--
+	}
+	for d*l*w > points && l > 1 {
+		l--
+	}
+	for d*l*w > points && d > 1 {
+		d--
+	}
+	return map[string]any{
+		"designs":    designs[:d],
+		"latency_xs": lats[:l],
+		"workloads":  wls[:w],
+		"budget":     budget,
+	}
+}
+
+func runSweep(ctx context.Context, replicas, points int, budget int64, dir string, requireDup0 bool) error {
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "ltrf-sweep-*"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	urls, shutdown, err := replicaFleet(replicas, dir)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	st, err := load.RunSweep(ctx, load.SweepConfig{
+		BaseURLs: urls,
+		Body:     sweepBody(points, budget),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(st)
+	for _, r := range st.Replicas {
+		if r.Err != nil {
+			return fmt.Errorf("replica %s: %w", r.URL, r.Err)
+		}
+	}
+	if requireDup0 && st.DuplicateRatio != 0 {
+		return fmt.Errorf("duplicate-compute ratio %.3f, want 0 (sims=%d grid=%d)",
+			st.DuplicateRatio, st.Sims, st.GridSize)
+	}
+	return nil
+}
+
+// benchReport is the BENCH_PR10.json schema: points/s for warm and cold
+// sweeps at 1 vs 2 replicas sharing one store. The cold two-replica case is
+// where the leases earn their keep — both replicas serve the full grid, the
+// computes split between them, so delivered-points/s should roughly double.
+type benchReport struct {
+	Points int   `json:"points"`
+	Budget int64 `json:"budget"`
+
+	Cold1PointsPerSec float64 `json:"cold_1r_points_per_sec"`
+	Cold2PointsPerSec float64 `json:"cold_2r_points_per_sec"`
+	Warm1PointsPerSec float64 `json:"warm_1r_points_per_sec"`
+	Warm2PointsPerSec float64 `json:"warm_2r_points_per_sec"`
+
+	ColdSpeedup2R     float64 `json:"cold_speedup_2r"`
+	Cold2RDupRatio    float64 `json:"cold_2r_duplicate_ratio"`
+	Cold1TTFRMS       float64 `json:"cold_1r_ttfr_ms"`
+	Cold2TTFRMS       float64 `json:"cold_2r_ttfr_ms"`
+	Warm2LeaseWaits   int64   `json:"warm_2r_lease_waits"`
+	Cold2LeasesSplit  []int64 `json:"cold_2r_leases_per_replica"`
+	Cold2SimsReplicas []int64 `json:"cold_2r_sims_per_replica"`
+}
+
+// benchCase runs one sweep configuration against a fresh fleet and returns
+// its stats. The store dir persists across cases via the caller.
+func benchCase(ctx context.Context, replicas, points int, budget int64, dir string) (*load.SweepStats, error) {
+	urls, shutdown, err := replicaFleet(replicas, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	return load.RunSweep(ctx, load.SweepConfig{
+		BaseURLs: urls,
+		Body:     sweepBody(points, budget),
+	})
+}
+
+func runBench(ctx context.Context, points int, budget int64, out string) error {
+	rep := benchReport{Points: points, Budget: budget}
+
+	// Cold, 1 replica: fresh store, every point simulated.
+	dir1, err := os.MkdirTemp("", "ltrf-bench-1r-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir1)
+	cold1, err := benchCase(ctx, 1, points, budget, dir1)
+	if err != nil {
+		return err
+	}
+	fmt.Print("cold 1 replica: ", cold1)
+
+	// Cold, 2 replicas: fresh store, same sweep at both; leases split the
+	// computes so both replicas finish in about the single-replica wall.
+	dir2, err := os.MkdirTemp("", "ltrf-bench-2r-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir2)
+	cold2, err := benchCase(ctx, 2, points, budget, dir2)
+	if err != nil {
+		return err
+	}
+	fmt.Print("cold 2 replicas: ", cold2)
+
+	// Warm reruns against the now-populated stores: pure read path.
+	warm1, err := benchCase(ctx, 1, points, budget, dir1)
+	if err != nil {
+		return err
+	}
+	fmt.Print("warm 1 replica: ", warm1)
+	warm2, err := benchCase(ctx, 2, points, budget, dir2)
+	if err != nil {
+		return err
+	}
+	fmt.Print("warm 2 replicas: ", warm2)
+
+	rep.Cold1PointsPerSec = cold1.PointsPerSec
+	rep.Cold2PointsPerSec = cold2.PointsPerSec
+	rep.Warm1PointsPerSec = warm1.PointsPerSec
+	rep.Warm2PointsPerSec = warm2.PointsPerSec
+	if cold1.PointsPerSec > 0 {
+		rep.ColdSpeedup2R = cold2.PointsPerSec / cold1.PointsPerSec
+	}
+	rep.Cold2RDupRatio = cold2.DuplicateRatio
+	rep.Cold1TTFRMS = float64(cold1.Replicas[0].TTFR.Milliseconds())
+	if len(cold2.Replicas) > 0 {
+		rep.Cold2TTFRMS = float64(cold2.Replicas[0].TTFR.Milliseconds())
+	}
+	for _, m := range cold2.Meta {
+		rep.Cold2SimsReplicas = append(rep.Cold2SimsReplicas, m.Sims)
+		if m.Store != nil {
+			rep.Cold2LeasesSplit = append(rep.Cold2LeasesSplit, m.Store.LeasesAcquired)
+		}
+	}
+	for _, m := range warm2.Meta {
+		if m.Store != nil {
+			rep.Warm2LeaseWaits += m.Store.LeaseWaits
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (cold 2-replica speedup %.2fx, duplicate ratio %.3f)\n",
+		out, rep.ColdSpeedup2R, rep.Cold2RDupRatio)
+	return nil
 }

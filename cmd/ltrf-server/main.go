@@ -8,7 +8,12 @@
 //
 //	ltrf-server -addr :8080 -store /var/lib/ltrf/results
 //	curl -s localhost:8080/v1/eval -d '{"design":"LTRF","workload":"sgemm"}'
+//	curl -sN localhost:8080/v1/sweep -d '{"designs":["BL","LTRF"],"workloads":["sgemm"],"latency_xs":[1,4]}'
 //	curl -s localhost:8080/v1/meta
+//
+// Multiple replicas pointed at the same -store directory coalesce cold
+// computes through per-point leases (each point simulated once across the
+// fleet; see "Scaling out ltrf-server" in the README).
 //
 // SIGINT/SIGTERM trigger a graceful drain: new work is refused with 503
 // while in-flight evaluations finish (bounded by -drain-timeout), so a
@@ -49,6 +54,10 @@ func realMain() int {
 		maxQueue     = flag.Int("max-queue", 0, "queued requests beyond in-flight before shedding 429s (0 = 4x in-flight)")
 		evalTimeout  = flag.Duration("timeout", 2*time.Minute, "per-request evaluation deadline (overridable per request via timeout_ms)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight evaluations")
+		maxBody      = flag.Int64("max-body", 1<<20, "POST body cap in bytes (413 beyond)")
+		maxSweep     = flag.Int("max-sweep-points", 0, "grid-size cap for /v1/sweep (0 = 4096)")
+		sweepBeat    = flag.Duration("sweep-heartbeat", 10*time.Second, "NDJSON heartbeat interval through cold sweep stretches")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "cold-point lease deadline for cross-replica coalescing (0 = 2m; needs -store)")
 	)
 	flag.Parse()
 
@@ -60,6 +69,9 @@ func realMain() int {
 			return 1
 		}
 		eng = exp.NewEngineWithStore(st)
+		if *leaseTTL > 0 {
+			eng.SetLeaseTTL(*leaseTTL)
+		}
 		log.Printf("persistent store at %s (version %s)", *storeDir, exp.StoreVersion())
 	} else {
 		eng = exp.NewEngine()
@@ -71,6 +83,9 @@ func realMain() int {
 		MaxInFlight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *evalTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxSweepPoints: *maxSweep,
+		SweepHeartbeat: *sweepBeat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ltrf-server:", err)

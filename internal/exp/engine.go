@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ltrf/internal/core"
 	"ltrf/internal/isa"
@@ -120,6 +122,15 @@ type Engine struct {
 
 	disk *store.Store // nil = in-process memo only
 
+	// Cross-replica coalescing (lease.go in internal/store): before
+	// computing a cold point, a store-backed engine claims its per-point
+	// lease; losers wait for the winner's publish instead of duplicating
+	// the simulation. leaseTTL caps how long a crashed holder can block a
+	// point (0 = store.DefaultLeaseTTL); owner names this engine in lease
+	// files for forensics.
+	leaseTTL time.Duration
+	owner    string
+
 	sims      atomic.Int64 // simulations actually executed (cache misses)
 	storeHits atomic.Int64 // results served from the disk store
 	storeErrs atomic.Int64 // store operations that failed after retries
@@ -208,11 +219,30 @@ func NewEngine() *Engine {
 // evaluation consults the store before simulating and persists every fresh
 // result (best-effort — a failing store degrades to compute-only, counted
 // by StoreErrors). Open the store with Version: StoreVersion().
+//
+// A store-backed engine also participates in the store's per-point lease
+// protocol: replicas sharing the store directory compute each cold point
+// exactly once (the winner of the O_EXCL lease simulates and publishes;
+// the others wait on the published entry). A lease held longer than the
+// TTL (SetLeaseTTL; default store.DefaultLeaseTTL) is presumed crashed and
+// taken over.
 func NewEngineWithStore(s *store.Store) *Engine {
 	e := NewEngine()
 	e.disk = s
+	e.owner = fmt.Sprintf("pid-%d/engine-%d", os.Getpid(), engineSeq.Add(1))
 	return e
 }
+
+// engineSeq disambiguates lease owners when one process hosts several
+// store-backed engines (e.g. the two-replica load harness).
+var engineSeq atomic.Int64
+
+// SetLeaseTTL overrides the engine's per-point lease deadline: the promise
+// window a replica has to compute and publish a cold point before waiters
+// presume it crashed and take the point over. Non-positive restores the
+// default. Set it before serving; it is not synchronized with in-flight
+// evaluations.
+func (e *Engine) SetLeaseTTL(ttl time.Duration) { e.leaseTTL = ttl }
 
 // Store returns the engine's disk store (nil for in-process-only engines).
 func (e *Engine) Store() *store.Store { return e.disk }
@@ -286,6 +316,20 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// errLeaseBusy is EvalNoWait's deferral signal: another replica holds the
+// point's lease, so a non-blocking caller should move on and come back.
+// Like cancellation it describes the moment, not the point, so it is never
+// memoized (see isTransientEvalErr).
+var errLeaseBusy = errors.New("exp: point leased by another replica")
+
+// isTransientEvalErr reports whether err reflects the circumstances of one
+// evaluation attempt (caller cancelled, lease held elsewhere) rather than a
+// property of the point — the class that must be retried by the next
+// caller, never memoized.
+func isTransientEvalErr(err error) bool {
+	return isCtxErr(err) || errors.Is(err, errLeaseBusy)
+}
+
 // Eval returns the simulation result for a point, running it on first use
 // and serving the memo (or the disk store, when the engine has one)
 // afterwards. Concurrent calls for the same point block on the single
@@ -296,6 +340,25 @@ func isCtxErr(err error) bool {
 // of parallelism; cancellation errors are not memoized — the point stays
 // evaluable by the next caller.
 func (e *Engine) Eval(ctx context.Context, p Point) (*sim.Result, error) {
+	return e.eval(ctx, p, true)
+}
+
+// EvalNoWait is Eval without the cross-replica wait: when another replica
+// holds the point's lease, it returns immediately with IsLeaseBusy-true
+// error instead of polling for the winner's publish. Streaming sweeps use
+// it to keep workers busy on uncontended points and revisit deferred ones
+// once the rest of the grid is dispatched (by which time they are usually
+// published store hits). Local singleflight still applies: concurrent
+// same-point callers on THIS engine share one evaluation.
+func (e *Engine) EvalNoWait(ctx context.Context, p Point) (*sim.Result, error) {
+	return e.eval(ctx, p, false)
+}
+
+// IsLeaseBusy reports whether err is EvalNoWait's deferral signal: the
+// point is being computed by another replica right now.
+func IsLeaseBusy(err error) bool { return errors.Is(err, errLeaseBusy) }
+
+func (e *Engine) eval(ctx context.Context, p Point, wait bool) (*sim.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -308,11 +371,12 @@ func (e *Engine) Eval(ctx context.Context, p Point) (*sim.Result, error) {
 			e.results[p] = ent
 			e.mu.Unlock()
 
-			res, err := e.evalProtected(ctx, p)
-			if err != nil && isCtxErr(err) {
-				// Do not poison the memo with this request's death: unpublish
-				// the entry, then release waiters so they retry (each under
-				// its own context) through a fresh entry.
+			res, err := e.evalProtected(ctx, p, wait)
+			if err != nil && isTransientEvalErr(err) {
+				// Do not poison the memo with this attempt's circumstances
+				// (caller death, remote lease): unpublish the entry, then
+				// release waiters so they retry (each under its own context
+				// and wait mode) through a fresh entry.
 				e.mu.Lock()
 				delete(e.results, p)
 				e.mu.Unlock()
@@ -331,8 +395,8 @@ func (e *Engine) Eval(ctx context.Context, p Point) (*sim.Result, error) {
 
 		select {
 		case <-ent.done:
-			if ent.err != nil && isCtxErr(ent.err) {
-				continue // leader was cancelled; retry as the new leader
+			if ent.err != nil && isTransientEvalErr(ent.err) {
+				continue // leader cancelled or deferred; retry as the new leader
 			}
 			return ent.res, ent.err
 		case <-ctx.Done():
@@ -345,34 +409,89 @@ func (e *Engine) Eval(ctx context.Context, p Point) (*sim.Result, error) {
 // plugin (or any simulator invariant failure) becomes a *PanicError for
 // this point instead of taking down the batch worker or the serving
 // process.
-func (e *Engine) evalProtected(ctx context.Context, p Point) (res *sim.Result, err error) {
+func (e *Engine) evalProtected(ctx context.Context, p Point, wait bool) (res *sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Point: p, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
 		}
 	}()
-	return e.evalStored(ctx, p)
+	return e.evalStored(ctx, p, wait)
 }
 
 // evalStored consults the disk store around the actual simulation: a valid
 // stored entry is rehydrated without simulating; a miss (or a corrupt /
 // undecodable entry — already quarantined by the store) falls through to
 // simulation, whose result is persisted best-effort.
-func (e *Engine) evalStored(ctx context.Context, p Point) (*sim.Result, error) {
+//
+// Cold points additionally run the store's per-point lease protocol so N
+// replicas sharing the directory compute each point exactly once: claim
+// the lease (O_EXCL create) and compute on success; on ErrLeaseHeld either
+// poll Has with the store's jittered backoff until the winner publishes
+// (wait=true, re-contending each round so released/expired leases are
+// picked up), or return errLeaseBusy for the caller to defer (wait=false).
+// Lease-infrastructure failures degrade to uncoordinated compute — the
+// lease saves duplicate work; it must never block serving.
+func (e *Engine) evalStored(ctx context.Context, p Point, wait bool) (*sim.Result, error) {
 	if e.disk == nil {
 		return e.evalUncached(ctx, p)
 	}
 	key := p.storeKey()
-	if data, err := e.disk.Get(key); err == nil {
-		if res, derr := decodeResult(p, data); derr == nil {
-			e.storeHits.Add(1)
-			return res, nil
+	for try := 1; ; try++ {
+		// First round always reads; later rounds are waiter polls that stat
+		// (Has) before paying for a checksummed read.
+		if try == 1 || e.disk.Has(key) {
+			if data, err := e.disk.Get(key); err == nil {
+				if res, derr := decodeResult(p, data); derr == nil {
+					e.storeHits.Add(1)
+					return res, nil
+				}
+				// Decodable-but-implausible or schema-drifted payload:
+				// recompute and overwrite below. (Checksum failures never
+				// reach here — the store quarantines them and returns
+				// ErrCorrupt.)
+			} else if !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrCorrupt) {
+				e.storeErrs.Add(1)
+				// The disk is misbehaving; skip lease coordination on the
+				// same disk and just serve.
+				return e.computeAndPublish(ctx, p, key, nil)
+			}
 		}
-		// Decodable-but-implausible or schema-drifted payload: recompute and
-		// overwrite below. (Checksum failures never reach here — the store
-		// quarantines them and returns ErrCorrupt.)
-	} else if !errors.Is(err, store.ErrNotFound) && !errors.Is(err, store.ErrCorrupt) {
-		e.storeErrs.Add(1)
+		lease, lerr := e.disk.AcquireLease(key, e.owner, e.leaseTTL)
+		if lerr == nil {
+			// Double-check under the lease: another replica may have
+			// published (and released) in the window between this round's
+			// miss and the acquisition — computing now would duplicate its
+			// work. Release and loop back to the read path instead.
+			if e.disk.Has(key) {
+				lease.Release() //nolint:errcheck // best-effort; TTL reclaims
+				continue
+			}
+			return e.computeAndPublish(ctx, p, key, lease)
+		}
+		if !errors.Is(lerr, store.ErrLeaseHeld) {
+			e.storeErrs.Add(1)
+			return e.computeAndPublish(ctx, p, key, nil)
+		}
+		if !wait {
+			return nil, fmt.Errorf("%s/%s@%gx: %w", p.Design, p.Workload, p.LatencyX, errLeaseBusy)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(e.disk.LeasePollDelay(try)):
+		}
+	}
+}
+
+// computeAndPublish simulates the point, persists the result best-effort,
+// and releases the lease (when one is held) AFTER the publish — waiters'
+// next poll then finds either the entry or a free lease, never a gap where
+// both are absent while the result exists. The deferred release also runs
+// on failure and on panic unwinding, so a broken point never leaves its
+// lease to the TTL clock.
+func (e *Engine) computeAndPublish(ctx context.Context, p Point, key string, lease *store.Lease) (*sim.Result, error) {
+	if lease != nil {
+		defer lease.Release() //nolint:errcheck // best-effort; TTL reclaims
 	}
 	res, err := e.evalUncached(ctx, p)
 	if err != nil {
@@ -470,20 +589,33 @@ func (e *Engine) batchOrder(pts []Point) []Point {
 	if len(pts) < 2 {
 		return pts
 	}
-	warm := make([]Point, 0, len(pts))
-	cold := make([]Point, 0, len(pts))
-	for _, p := range pts {
+	idx := e.batchOrderIdx(pts)
+	out := make([]Point, len(pts))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	return out
+}
+
+// batchOrderIdx is batchOrder as a permutation of input indices — the form
+// the streaming sweep needs, where each emitted record must carry its
+// position in the caller's declared grid regardless of dispatch order.
+func (e *Engine) batchOrderIdx(pts []Point) []int {
+	warm := make([]int, 0, len(pts))
+	cold := make([]int, 0, len(pts))
+	for i, p := range pts {
 		if e.isWarm(p.canon()) {
-			warm = append(warm, p)
+			warm = append(warm, i)
 		} else {
-			cold = append(cold, p)
+			cold = append(cold, i)
 		}
 	}
-	sort.SliceStable(cold, func(i, j int) bool {
-		if cold[i].Workload != cold[j].Workload {
-			return cold[i].Workload < cold[j].Workload
+	sort.SliceStable(cold, func(a, b int) bool {
+		pi, pj := pts[cold[a]], pts[cold[b]]
+		if pi.Workload != pj.Workload {
+			return pi.Workload < pj.Workload
 		}
-		return cold[i].Unroll < cold[j].Unroll
+		return pi.Unroll < pj.Unroll
 	})
 	return append(warm, cold...)
 }

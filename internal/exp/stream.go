@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"ltrf/internal/sim"
+)
+
+// StreamResult is one completed point of a streaming sweep: the index into
+// the caller's point slice, the point itself, and the evaluation outcome.
+type StreamResult struct {
+	Index int
+	Point Point
+	Res   *sim.Result
+	Err   error
+}
+
+// EvalStream evaluates pts on a bounded worker pool and delivers each
+// result on the returned channel AS IT COMPLETES — warm points (memoized or
+// store-resident) flush immediately instead of queueing behind cold
+// simulations. The channel is closed after the last delivery (or promptly
+// after ctx fires; points not yet delivered are simply absent — the caller
+// counts them as cancelled).
+//
+// Dispatch reuses the engine's kernel-batched order (warm first in
+// declaration order, cold sorted by compiled-kernel identity) so the
+// compile cache hits across the sweep exactly as it does for RunBatch.
+//
+// Cross-replica coordination is non-blocking: a cold point whose store
+// lease is held by another replica is DEFERRED — the worker moves on to the
+// next point — and retried after the rest of the grid has dispatched, by
+// which time the other replica has usually published it as a store hit.
+// Deferred points that are still contended on the second pass fall back to
+// the blocking wait (poll-until-published), so every point is eventually
+// delivered exactly once.
+func (e *Engine) EvalStream(ctx context.Context, workers int, pts []Point) <-chan StreamResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan StreamResult)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if len(pts) == 0 {
+		close(out)
+		return out
+	}
+
+	go func() {
+		defer close(out)
+
+		emit := func(idx int, res *sim.Result, err error) bool {
+			select {
+			case out <- StreamResult{Index: idx, Point: pts[idx], Res: res, Err: err}:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+
+		// Pass 1: kernel-batched dispatch, deferring lease-contended points.
+		var deferredMu sync.Mutex
+		var deferred []int
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					res, err := e.EvalNoWait(ctx, pts[idx])
+					if IsLeaseBusy(err) {
+						deferredMu.Lock()
+						deferred = append(deferred, idx)
+						deferredMu.Unlock()
+						continue
+					}
+					if !emit(idx, res, err) {
+						return
+					}
+				}
+			}()
+		}
+	dispatch:
+		for _, idx := range e.batchOrderIdx(pts) {
+			select {
+			case jobs <- idx:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		if ctx.Err() != nil {
+			return
+		}
+
+		// Pass 2: deferred points, now with the blocking cross-replica wait.
+		// Most are store hits by now; stragglers poll until the owning
+		// replica publishes (or its lease expires and this engine takes the
+		// point over). Declaration order — batching no longer matters: these
+		// points are compiling (or compiled) on another replica, not here.
+		retry := make(chan int)
+		for w := 0; w < workers && w < len(deferred); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range retry {
+					res, err := e.Eval(ctx, pts[idx])
+					if !emit(idx, res, err) {
+						return
+					}
+				}
+			}()
+		}
+	redispatch:
+		for _, idx := range deferred {
+			select {
+			case retry <- idx:
+			case <-ctx.Done():
+				break redispatch
+			}
+		}
+		close(retry)
+		wg.Wait()
+	}()
+	return out
+}

@@ -1,0 +1,244 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SweepConfig parameterizes a replicated-sweep run: the SAME grid request is
+// fired at every replica URL concurrently, modelling N frontends serving the
+// same demand off one shared store. The lease protocol should split the cold
+// computes between them — DuplicateRatio reports how well it did.
+type SweepConfig struct {
+	// BaseURLs lists the replica endpoints (one sweep request per URL).
+	BaseURLs []string
+	// Client performs the requests (nil = http.DefaultClient).
+	Client *http.Client
+	// Body is the /v1/sweep request payload, shared by all replicas.
+	Body map[string]any
+}
+
+// ReplicaSweep is one replica's view of the stream.
+type ReplicaSweep struct {
+	URL     string
+	Results int // result records delivered
+	Errs    int // error records delivered
+	Beats   int // heartbeat records
+	// TTFR/TTLR: time from dispatch to the first and last result record.
+	TTFR, TTLR time.Duration
+	// Summary fields from the terminal record.
+	GridPoints int
+	OK         int
+	Cancelled  int
+	Err        error // transport or protocol failure, if any
+}
+
+// ReplicaMeta is the slice of /v1/meta counters the sweep report cares
+// about. load deliberately decodes the server's JSON with its own minimal
+// structs — it is a client, not an importer of internal/server.
+type ReplicaMeta struct {
+	Sims      int64 `json:"sims"`
+	StoreHits int64 `json:"store_hits"`
+	Store     *struct {
+		Puts           int64 `json:"puts"`
+		Quarantined    int64 `json:"quarantined"`
+		LeasesAcquired int64 `json:"leases_acquired"`
+		LeaseWaits     int64 `json:"lease_waits"`
+		LeaseTakeovers int64 `json:"lease_takeovers"`
+	} `json:"store"`
+}
+
+// SweepStats aggregates a replicated-sweep run.
+type SweepStats struct {
+	Replicas []ReplicaSweep
+	Meta     []ReplicaMeta // post-run counters, parallel to Replicas
+	Wall     time.Duration
+
+	// GridSize is the per-replica grid size (from the summary record).
+	GridSize int
+	// Delivered is the total result records across replicas.
+	Delivered int
+	// Sims is the summed simulation count across replicas (meta delta).
+	Sims int64
+	// DuplicateRatio = (Sims - GridSize) / GridSize for an all-cold grid:
+	// 0 means the leases arbitrated perfectly (each point computed once
+	// across the fleet); 1 means every point was computed twice.
+	DuplicateRatio float64
+	// PointsPerSec = Delivered / Wall.
+	PointsPerSec float64
+}
+
+func (s *SweepStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: replicas=%d grid=%d delivered=%d sims=%d dup_ratio=%.3f wall=%v points/s=%.1f\n",
+		len(s.Replicas), s.GridSize, s.Delivered, s.Sims, s.DuplicateRatio, s.Wall.Round(time.Millisecond), s.PointsPerSec)
+	for i, r := range s.Replicas {
+		fmt.Fprintf(&b, "  replica %d: results=%d errors=%d ttfr=%v ttlr=%v",
+			i, r.Results, r.Errs, r.TTFR.Round(time.Millisecond), r.TTLR.Round(time.Millisecond))
+		if i < len(s.Meta) {
+			m := s.Meta[i]
+			fmt.Fprintf(&b, " sims=%d store_hits=%d", m.Sims, m.StoreHits)
+			if m.Store != nil {
+				fmt.Fprintf(&b, " leases=%d waits=%d takeovers=%d puts=%d",
+					m.Store.LeasesAcquired, m.Store.LeaseWaits, m.Store.LeaseTakeovers, m.Store.Puts)
+			}
+		}
+		if r.Err != nil {
+			fmt.Fprintf(&b, " ERR=%v", r.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sweepRec is the minimal union decode of one NDJSON line.
+type sweepRec struct {
+	Type   string `json:"type"`
+	Points int    `json:"points"`
+	OK     int    `json:"ok"`
+	Errors int    `json:"errors"`
+	Cancel int    `json:"cancelled"`
+}
+
+// RunSweep fires cfg.Body at every replica concurrently, streams each
+// response to completion, then snapshots each replica's meta counters.
+// Replica-level failures are recorded per replica, not fatal: a fleet report
+// with one dead replica is still a report.
+func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepStats, error) {
+	if len(cfg.BaseURLs) == 0 {
+		return nil, errors.New("load: SweepConfig.BaseURLs is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(cfg.Body)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline sims so DuplicateRatio reflects this run only, even against
+	// replicas that have served before.
+	before := make([]int64, len(cfg.BaseURLs))
+	for i, u := range cfg.BaseURLs {
+		if m, err := fetchMeta(ctx, client, u); err == nil {
+			before[i] = m.Sims
+		}
+	}
+
+	st := &SweepStats{Replicas: make([]ReplicaSweep, len(cfg.BaseURLs))}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, u := range cfg.BaseURLs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.Replicas[i] = streamSweep(ctx, client, u, body)
+		}()
+	}
+	wg.Wait()
+	st.Wall = time.Since(start)
+
+	for i, u := range cfg.BaseURLs {
+		m, err := fetchMeta(ctx, client, u)
+		if err != nil {
+			if st.Replicas[i].Err == nil {
+				st.Replicas[i].Err = fmt.Errorf("meta: %w", err)
+			}
+			st.Meta = append(st.Meta, ReplicaMeta{})
+			continue
+		}
+		st.Sims += m.Sims - before[i]
+		st.Meta = append(st.Meta, m)
+	}
+	for _, r := range st.Replicas {
+		st.Delivered += r.Results
+		if r.GridPoints > st.GridSize {
+			st.GridSize = r.GridPoints
+		}
+	}
+	if st.GridSize > 0 {
+		st.DuplicateRatio = float64(st.Sims-int64(st.GridSize)) / float64(st.GridSize)
+	}
+	if st.Wall > 0 {
+		st.PointsPerSec = float64(st.Delivered) / st.Wall.Seconds()
+	}
+	return st, nil
+}
+
+// streamSweep fires one sweep request and consumes its NDJSON stream.
+func streamSweep(ctx context.Context, client *http.Client, base string, body []byte) ReplicaSweep {
+	rs := ReplicaSweep{URL: base}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		rs.Err = err
+		return rs
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		rs.Err = err
+		return rs
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rs.Err = fmt.Errorf("sweep status %d", resp.StatusCode)
+		return rs
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec sweepRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			rs.Err = fmt.Errorf("bad NDJSON line: %w", err)
+			return rs
+		}
+		switch rec.Type {
+		case "result":
+			if rs.Results == 0 {
+				rs.TTFR = time.Since(start)
+			}
+			rs.Results++
+			rs.TTLR = time.Since(start)
+		case "error":
+			rs.Errs++
+		case "heartbeat":
+			rs.Beats++
+		case "summary":
+			rs.GridPoints = rec.Points
+			rs.OK = rec.OK
+			rs.Cancelled = rec.Cancel
+		}
+	}
+	if err := sc.Err(); err != nil && rs.Err == nil {
+		rs.Err = err
+	}
+	return rs
+}
+
+func fetchMeta(ctx context.Context, client *http.Client, base string) (ReplicaMeta, error) {
+	var m ReplicaMeta
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/meta", nil)
+	if err != nil {
+		return m, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("meta status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	return m, err
+}

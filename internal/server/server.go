@@ -24,6 +24,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -57,6 +58,16 @@ type Config struct {
 	// DefaultTimeout caps each evaluation request without an explicit
 	// timeout_ms (0 = no server-imposed deadline).
 	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies on every POST handler; oversized
+	// requests answer 413 instead of being read to completion
+	// (0 = 1 MiB — generous for axis lists, hostile to accidents).
+	MaxBodyBytes int64
+	// MaxSweepPoints caps the expanded grid of one /v1/sweep request
+	// (0 = 4096).
+	MaxSweepPoints int
+	// SweepHeartbeat is the idle interval between heartbeat records on a
+	// sweep stream (0 = 10s). Tests shrink it to observe heartbeats.
+	SweepHeartbeat time.Duration
 }
 
 // Server handles the HTTP API. Create with New, mount Handler.
@@ -92,6 +103,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 4 * cfg.MaxInFlight
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	return &Server{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInFlight),
@@ -101,16 +115,44 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the API routes:
 //
 //	POST /v1/eval        evaluate one point
+//	POST /v1/sweep       evaluate a whole grid, streamed as NDJSON
 //	POST /v1/experiment  regenerate one paper artifact
 //	GET  /v1/meta        designs, workloads, experiments, counters
 //	GET  /healthz        200 serving / 503 draining
+//
+// Every POST body passes http.MaxBytesReader (Config.MaxBodyBytes):
+// oversized requests answer 413 instead of being silently read in full.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/eval", s.handleEval)
-	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	mux.HandleFunc("POST /v1/eval", s.capBody(s.handleEval))
+	mux.HandleFunc("POST /v1/sweep", s.capBody(s.handleSweep))
+	mux.HandleFunc("POST /v1/experiment", s.capBody(s.handleExperiment))
 	mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// capBody wraps a POST handler's body in http.MaxBytesReader, so a decode
+// of an oversized body fails with *http.MaxBytesError (rendered as 413 by
+// writeDecodeErr) after at most MaxBodyBytes read.
+func (s *Server) capBody(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// writeDecodeErr classifies a request-body decode failure: a body over the
+// MaxBytesReader cap is 413 (the client must shrink or split the request);
+// everything else is a plain 400.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds the %d-byte cap", mbe.Limit))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
 }
 
 // BeginDrain stops admitting new work: subsequent requests answer 503.
@@ -330,7 +372,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		writeDecodeErr(w, err)
 		return
 	}
 	pt, err := parsePoint(&req)
@@ -390,23 +432,33 @@ func evalResponse(pt exp.Point, res *sim.Result) EvalResponse {
 	}
 }
 
-func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+// evalErrorBody classifies an evaluation error as the structured body both
+// the unary handlers (as a whole response) and the sweep stream (as a
+// per-point "error" record) carry.
+func evalErrorBody(err error) errorBody {
 	var pe *exp.PanicError
 	switch {
 	case errors.As(err, &pe):
-		writeJSON(w, http.StatusInternalServerError, map[string]errorBody{"error": {
-			Kind:       "panic",
-			Message:    pe.Error(),
-			PanicValue: pe.Value,
-			PanicStack: pe.Stack,
-		}})
+		return errorBody{Kind: "panic", Message: pe.Error(), PanicValue: pe.Value, PanicStack: pe.Stack}
 	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, "timeout", err.Error())
+		return errorBody{Kind: "timeout", Message: err.Error()}
 	case errors.Is(err, context.Canceled):
-		writeErr(w, statusClientClosedRequest, "cancelled", err.Error())
+		return errorBody{Kind: "cancelled", Message: err.Error()}
 	default:
-		writeErr(w, http.StatusInternalServerError, "eval_failed", err.Error())
+		return errorBody{Kind: "eval_failed", Message: err.Error()}
 	}
+}
+
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	body := evalErrorBody(err)
+	status := http.StatusInternalServerError
+	switch body.Kind {
+	case "timeout":
+		status = http.StatusGatewayTimeout
+	case "cancelled":
+		status = statusClientClosedRequest
+	}
+	writeJSON(w, status, map[string]errorBody{"error": body})
 }
 
 // ExperimentRequest regenerates one paper artifact.
@@ -437,7 +489,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		writeDecodeErr(w, err)
 		return
 	}
 	spec, err := exp.ByID(req.ID)
@@ -475,14 +527,86 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.writeEvalError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ExperimentResponse{
-		ID:      t.ID,
-		Title:   t.Title,
-		Headers: t.Headers,
-		Rows:    t.Rows,
-		Notes:   t.Notes,
-		Text:    t.String(),
-	})
+	writeExperimentStreaming(w, t)
+}
+
+// writeExperimentStreaming renders the ExperimentResponse shape directly
+// through the response writer: rows are encoded one at a time with periodic
+// flushes and the text rendering is escaped as it is produced — the server
+// never materializes the whole artifact (rows × columns plus the aligned
+// text, twice) as one in-memory value the way writeJSON on a fully-built
+// ExperimentResponse did. Wire shape is identical to the buffered response;
+// only the production is incremental.
+func writeExperimentStreaming(w http.ResponseWriter, t *exp.Table) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	emit := func(v any) {
+		data, err := json.Marshal(v)
+		if err == nil {
+			bw.Write(data) //nolint:errcheck // client gone; nothing to do
+		}
+	}
+	bw.WriteString(`{"id":`)
+	emit(t.ID)
+	bw.WriteString(`,"title":`)
+	emit(t.Title)
+	bw.WriteString(`,"headers":`)
+	emit(t.Headers)
+	bw.WriteString(`,"rows":[`)
+	for i, row := range t.Rows {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		emit(row)
+		if i%64 == 63 {
+			bw.Flush() //nolint:errcheck // as above
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	bw.WriteByte(']')
+	if len(t.Notes) > 0 {
+		bw.WriteString(`,"notes":`)
+		emit(t.Notes)
+	}
+	bw.WriteString(`,"text":"`)
+	t.Fprint(&jsonStringEscaper{w: bw})
+	bw.WriteString("\"}\n")
+	bw.Flush() //nolint:errcheck // as above
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// jsonStringEscaper streams bytes into an open JSON string literal: quotes,
+// backslashes, and control characters are escaped; everything else (UTF-8
+// included) passes through untouched.
+type jsonStringEscaper struct {
+	w *bufio.Writer
+}
+
+func (e *jsonStringEscaper) Write(p []byte) (int, error) {
+	for _, b := range p {
+		switch {
+		case b == '"' || b == '\\':
+			e.w.WriteByte('\\')
+			e.w.WriteByte(b)
+		case b == '\n':
+			e.w.WriteString(`\n`)
+		case b == '\t':
+			e.w.WriteString(`\t`)
+		case b == '\r':
+			e.w.WriteString(`\r`)
+		case b < 0x20:
+			fmt.Fprintf(e.w, `\u%04x`, b)
+		default:
+			e.w.WriteByte(b)
+		}
+	}
+	return len(p), nil
 }
 
 // MetaResponse describes the serving surface and its counters.
@@ -516,6 +640,13 @@ type StoreMeta struct {
 	Puts        int64  `json:"puts"`
 	Quarantined int64  `json:"quarantined"`
 	Retries     int64  `json:"retries"`
+
+	// Per-point lease protocol counters (cross-replica cold-point
+	// coalescing): exclusive claims won, waits on another replica's live
+	// lease, and stale leases taken over past their deadline.
+	LeasesAcquired int64 `json:"leases_acquired"`
+	LeaseWaits     int64 `json:"lease_waits"`
+	LeaseTakeovers int64 `json:"lease_takeovers"`
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
@@ -547,12 +678,15 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.svcMu.Unlock()
 	if st := eng.Store(); st != nil {
 		meta.Store = &StoreMeta{
-			Dir:         st.Dir(),
-			Hits:        st.Hits(),
-			Misses:      st.Misses(),
-			Puts:        st.Puts(),
-			Quarantined: st.Quarantined(),
-			Retries:     st.Retries(),
+			Dir:            st.Dir(),
+			Hits:           st.Hits(),
+			Misses:         st.Misses(),
+			Puts:           st.Puts(),
+			Quarantined:    st.Quarantined(),
+			Retries:        st.Retries(),
+			LeasesAcquired: st.LeasesAcquired(),
+			LeaseWaits:     st.LeaseWaits(),
+			LeaseTakeovers: st.LeaseTakeovers(),
 		}
 	}
 	writeJSON(w, http.StatusOK, meta)

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ltrf/internal/exp"
+	"ltrf/internal/faultinject"
+	"ltrf/internal/store"
+)
+
+// postSweep fires a sweep request and returns the raw response for the
+// caller to read incrementally.
+func postSweep(t *testing.T, ts *httptest.Server, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// sweepLine is the union decode target for any NDJSON record.
+type sweepLine struct {
+	Type      string      `json:"type"`
+	Index     int         `json:"index"`
+	Design    string      `json:"design"`
+	Workload  string      `json:"workload"`
+	IPC       float64     `json:"ipc"`
+	Error     *errorBody  `json:"error"`
+	Points    int         `json:"points"`
+	OK        int         `json:"ok"`
+	Errors    int         `json:"errors"`
+	Cancelled int         `json:"cancelled"`
+	Truncated interface{} `json:"truncated"` // []int on summaries, bool on results
+	Failures  []SweepFail `json:"failures"`
+}
+
+func decodeSweepStream(t *testing.T, resp *http.Response) []sweepLine {
+	t.Helper()
+	defer resp.Body.Close()
+	var lines []sweepLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return lines
+}
+
+func TestSweepStreamsFullGridWithSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := newTestServer(t, Config{})
+	resp := postSweep(t, ts, map[string]any{
+		"designs":    []string{"BL", "LTRF"},
+		"workloads":  []string{"vectoradd"},
+		"latency_xs": []float64{1, 4},
+		"budget":     2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if n := resp.Header.Get("X-Sweep-Points"); n != "4" {
+		t.Errorf("X-Sweep-Points = %q, want 4", n)
+	}
+	lines := decodeSweepStream(t, resp)
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "summary" || last.Points != 4 || last.OK != 4 || last.Errors != 0 || last.Cancelled != 0 {
+		t.Errorf("summary = %+v", last)
+	}
+	seen := map[int]bool{}
+	for _, l := range lines[:len(lines)-1] {
+		if l.Type != "result" {
+			t.Errorf("unexpected record type %q before summary", l.Type)
+			continue
+		}
+		if seen[l.Index] {
+			t.Errorf("index %d delivered twice", l.Index)
+		}
+		seen[l.Index] = true
+		if l.IPC <= 0 {
+			t.Errorf("point %d: implausible ipc %v", l.Index, l.IPC)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("delivered %d distinct points, want 4", len(seen))
+	}
+}
+
+// TestSweepWarmRecordArrivesBeforeColdSimulationFinishes is the PR 10
+// streaming acceptance pin: a grid mixing one warm point with a cold
+// fault-hang point (which cannot finish before the request deadline) must
+// deliver the warm point's NDJSON record while the cold simulation is still
+// running — no head-of-line blocking behind grid order.
+func TestSweepWarmRecordArrivesBeforeColdSimulationFinishes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	eng := exp.NewEngine()
+	_, ts := newTestServer(t, Config{Engine: eng})
+
+	// Warm LTRF/vectoradd through the public API first.
+	code, _ := post(t, ts.URL+"/v1/eval", quickEval())
+	if code != http.StatusOK {
+		t.Fatalf("warmup status = %d", code)
+	}
+	simsBefore := eng.Sims()
+
+	// fault-hang first in the grid (grid order must NOT dictate delivery),
+	// the warm point second. The hang design sleeps per operand read, so its
+	// cold simulation takes on the order of a second — plenty of window for
+	// the warm record to flush first.
+	resp := postSweep(t, ts, map[string]any{
+		"designs":   []string{faultinject.DesignHang, "LTRF"},
+		"workloads": []string{"vectoradd"},
+		"budget":    2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first record: %v", sc.Err())
+	}
+	firstAt := time.Now()
+	var first sweepLine
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != "result" || first.Design != "LTRF" {
+		t.Fatalf("first record = %q %q, want the warm LTRF result", first.Type, first.Design)
+	}
+	// The warm record must flush from the memo, not a fresh simulation.
+	if eng.Sims() != simsBefore+1 { // +1: the fault-hang sim is in flight (counted at start)
+		t.Errorf("sims = %d, want %d (warm point must not re-simulate)", eng.Sims(), simsBefore+1)
+	}
+
+	// Drain the rest. The hang point's slow cold simulation completes long
+	// after the warm record flushed: the stream outliving the first record
+	// by a wide margin proves the warm record arrived before any cold
+	// simulation finished.
+	var rest []sweepLine
+	for sc.Scan() {
+		var l sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, l)
+	}
+	if len(rest) == 0 {
+		t.Fatal("stream ended without further records")
+	}
+	tail := time.Since(firstAt)
+	if tail < 300*time.Millisecond {
+		t.Errorf("stream closed %v after the first record; the warm record did not precede the cold simulation", tail)
+	}
+	last := rest[len(rest)-1]
+	if last.Type != "summary" || last.Points != 2 || last.OK != 2 || last.Errors != 0 {
+		t.Errorf("summary = %+v", last)
+	}
+}
+
+func TestSweepValidationRejectsBeforeAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]map[string]any{
+		"no designs":      {"workloads": []string{"vectoradd"}},
+		"no workloads":    {"designs": []string{"BL"}},
+		"bad design":      {"designs": []string{"nosuch"}, "workloads": []string{"vectoradd"}},
+		"bad workload":    {"designs": []string{"BL"}, "workloads": []string{"nosuch"}},
+		"bad tech":        {"designs": []string{"BL"}, "workloads": []string{"vectoradd"}, "techs": []int{99}},
+		"bad latency":     {"designs": []string{"BL"}, "workloads": []string{"vectoradd"}, "latency_xs": []float64{-1}},
+		"bad scheduler":   {"designs": []string{"BL"}, "workloads": []string{"vectoradd"}, "schedulers": []string{"nosuch"}},
+		"bad prefetch":    {"designs": []string{"BL"}, "workloads": []string{"vectoradd"}, "prefetch": []string{"nosuch"}},
+		"negative budget": {"designs": []string{"BL"}, "workloads": []string{"vectoradd"}, "budget": -1},
+	} {
+		resp := postSweep(t, ts, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestSweepGridCapIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 3})
+	resp := postSweep(t, ts, map[string]any{
+		"designs":    []string{"BL", "LTRF"},
+		"workloads":  []string{"vectoradd"},
+		"latency_xs": []float64{1, 2},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("4-point grid under cap 3: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPostBodyCapIs413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	huge := strings.Repeat("x", 1024)
+	for _, path := range []string{"/v1/eval", "/v1/sweep", "/v1/experiment"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json",
+			strings.NewReader(`{"design":"`+huge+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body: status = %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepClientDisconnectLeaksNoGoroutines cancels a sweep mid-stream and
+// asserts the server's evaluation goroutines unwind (the PR 10 satellite
+// leak test).
+func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := newTestServer(t, Config{})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{
+		// A pure-cold hang grid: nothing completes; the stream stays open
+		// until we sever it.
+		"designs":   []string{faultinject.DesignHang},
+		"workloads": []string{"vectoradd", "sgemm", "btree"},
+		"budget":    5000,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disconnect while the cold points are mid-simulation.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	resp.Body.Close()
+
+	transport, _ := ts.Client().Transport.(*http.Transport)
+	deadline := time.Now().Add(10 * time.Second)
+	var after int
+	for {
+		if transport != nil {
+			transport.CloseIdleConnections()
+		}
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after > before+3 {
+		t.Errorf("goroutines: %d before, %d after disconnect — sweep leaked", before, after)
+	}
+}
+
+func TestSweepHeartbeatsDuringColdStretch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts := newTestServer(t, Config{SweepHeartbeat: 50 * time.Millisecond})
+	resp := postSweep(t, ts, map[string]any{
+		"designs":    []string{faultinject.DesignHang},
+		"workloads":  []string{"vectoradd"},
+		"budget":     2000,
+		"timeout_ms": 700,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	lines := decodeSweepStream(t, resp)
+	beats := 0
+	for _, l := range lines {
+		if l.Type == "heartbeat" {
+			beats++
+		}
+	}
+	if beats == 0 {
+		t.Errorf("no heartbeat records on a %d-line cold stream", len(lines))
+	}
+	if last := lines[len(lines)-1]; last.Type != "summary" {
+		t.Errorf("terminal record type %q, want summary", last.Type)
+	}
+}
+
+// TestMetaExposesLeaseCounters drives a cold point through a store-backed
+// server and asserts the new lease counters surface in /v1/meta.
+func TestMetaExposesLeaseCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{Version: exp.StoreVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Engine: exp.NewEngineWithStore(st)})
+	if code, _ := post(t, ts.URL+"/v1/eval", quickEval()); code != http.StatusOK {
+		t.Fatalf("eval status = %d", code)
+	}
+	code, m := func() (int, map[string]json.RawMessage) {
+		resp, err := ts.Client().Get(ts.URL + "/v1/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}()
+	if code != http.StatusOK {
+		t.Fatalf("meta status = %d", code)
+	}
+	var sm StoreMeta
+	if err := json.Unmarshal(m["store"], &sm); err != nil {
+		t.Fatal(err)
+	}
+	if sm.LeasesAcquired != 1 || sm.LeaseWaits != 0 || sm.LeaseTakeovers != 0 {
+		t.Errorf("lease counters = %+v, want exactly one acquisition", sm)
+	}
+	if sm.Puts != 1 {
+		t.Errorf("puts = %d, want 1", sm.Puts)
+	}
+}

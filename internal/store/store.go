@@ -28,6 +28,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -128,13 +129,18 @@ type Store struct {
 	puts        atomic.Int64
 	quarantined atomic.Int64
 	retries     atomic.Int64
+
+	// Lease-protocol counters (see lease.go).
+	leasesAcquired atomic.Int64
+	leaseWaits     atomic.Int64
+	leaseTakeovers atomic.Int64
 }
 
 const headerMagic = "ltrf-store/1"
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string, opts Options) (*Store, error) {
-	for _, sub := range []string{"", "tmp", "quarantine"} {
+	for _, sub := range []string{"", "tmp", "quarantine", "lease"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
@@ -337,13 +343,28 @@ func verify(data []byte) ([]byte, bool) {
 // quarantine moves a corrupt entry aside for post-mortem instead of
 // deleting it; the destination name keeps the address and appends a
 // timestamp so repeated corruption of one entry preserves every specimen.
+//
+// Concurrent readers of one corrupt entry race here: both fail verification
+// and both call quarantine, but only one rename can win. The loser's rename
+// fails with ENOENT — the entry is already quarantined, which is the
+// desired end state, so that is tolerated silently (no spurious removal,
+// no double-counted specimen) rather than surfaced as a store error.
 func (s *Store) quarantine(path string) {
 	dst := filepath.Join(s.dir, "quarantine",
 		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
-	if err := os.Rename(path, dst); err != nil {
-		// Renaming away a corrupt file is best-effort: if it fails (e.g.
-		// the file vanished), removing it keeps the address recomputable.
-		os.Remove(path)
+	err := os.Rename(path, dst)
+	if err == nil {
+		s.quarantined.Add(1)
+		return
 	}
-	s.quarantined.Add(1)
+	if errors.Is(err, fs.ErrNotExist) {
+		return // a concurrent reader quarantined it first; nothing left to do
+	}
+	// Rename failed with the source still in place (e.g. quarantine/ is
+	// unwritable): removing the corrupt file keeps the address recomputable,
+	// at the cost of the specimen. ENOENT here is the same already-handled
+	// race and stays silent.
+	if rmErr := os.Remove(path); rmErr == nil {
+		s.quarantined.Add(1)
+	}
 }
